@@ -1,0 +1,60 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at
+simulation scale.  Timings for the side-by-side comparisons are taken
+with ``time.perf_counter`` (one measured run after any setup); each test
+additionally registers one representative operation with the
+pytest-benchmark fixture so ``--benchmark-only`` emits its usual stats.
+
+Rendered tables are written to ``benchmarks/results/<name>.txt`` (and
+stdout), which is where EXPERIMENTS.md's recorded numbers come from.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` once; returns (elapsed_seconds, result)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def fmt_seconds(seconds):
+    """MM:SS.mmm, matching the paper's MM:SS format at sub-second scale."""
+    minutes = int(seconds // 60)
+    return "%02d:%06.3f" % (minutes, seconds % 60)
+
+
+def render_table(title, headers, rows):
+    """A paper-style fixed-width text table."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows),
+                                      default=0))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append(
+        " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def report(name, text):
+    """Print a rendered table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return path

@@ -1,0 +1,6 @@
+"""Benchmark suite configuration: make bench_utils importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,58 @@
+"""Figure 2: the LDA iteration's graph of Computation objects.
+
+The paper's figure shows LDA's Computations and their input/output
+dependencies — per iteration a three-way JoinComp, MultiSelectionComps,
+and AggregateComps, with initialization computations that run once.
+This bench materializes the reproduction's per-iteration graph, prints
+its nodes and edges, and checks the expected operator mix.
+"""
+
+import pytest
+
+from repro.cluster import PCCluster
+from repro.core import (
+    AggregateComp,
+    JoinComp,
+    MultiSelectionComp,
+    ObjectReader,
+    Writer,
+    computation_graph,
+)
+from repro.ml import PCLda
+
+from bench_utils import render_table, report
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_lda_graph(benchmark):
+    cluster = PCCluster(n_workers=2, page_size=1 << 16)
+    lda = PCLda(cluster, n_topics=3, seed=0)
+    lda.load([(0, 0, 1), (0, 1, 2), (1, 1, 1)], n_docs=2,
+             dictionary_size=2)
+    writers, _doc_agg, _word_agg = lda.build_iteration_graph()
+    graph = computation_graph(writers)
+
+    rows = []
+    for comp in graph:
+        upstream = ", ".join(
+            u.name for u in comp.inputs if u is not None
+        ) or "(source)"
+        rows.append((comp.name, type(comp).__name__, upstream))
+    report("figure2_lda_graph", render_table(
+        "Figure 2 — LDA's per-iteration Computation graph "
+        "(model resampling + reload run once per iteration on the client)",
+        ("computation", "type", "inputs"),
+        rows,
+    ))
+
+    kinds = [type(c) for c in graph]
+    assert kinds.count(ObjectReader) == 3  # triples, theta, phi
+    assert sum(1 for k in kinds if issubclass(k, JoinComp)) == 1
+    joins = [c for c in graph if isinstance(c, JoinComp)]
+    assert joins[0].arity == 3  # the paper's three-way join
+    assert sum(1 for k in kinds if issubclass(k, MultiSelectionComp)) == 2
+    assert sum(1 for k in kinds if issubclass(k, AggregateComp)) == 2
+    assert kinds.count(Writer) == 2
+    assert len(graph) >= 10
+
+    benchmark(lambda: computation_graph(lda.build_iteration_graph()[0]))

@@ -1,0 +1,35 @@
+"""repro: a Python reproduction of PlinyCompute (SIGMOD 2018).
+
+PlinyCompute ("PC") is *declarative in the large* — computations are
+expressed with a lambda calculus, compiled to the TCAP intermediate
+language, optimized with relational techniques, and scheduled over a
+cluster — and *high-performance in the small* — all data lives in the PC
+object model, allocated in place on pages that move between storage,
+network, and compute with zero (de)serialization.
+
+Subpackages
+-----------
+``repro.memory``
+    The PC object model: pages as heaps, offset-pointer handles,
+    reference counting, allocation policies.
+``repro.catalog`` / ``repro.storage``
+    Cluster metadata and the paged storage subsystem (buffer pool, sets).
+``repro.core``
+    The user-facing API: lambda calculus and Computation classes.
+``repro.tcap``
+    The TCAP IR, compiler, and rule-based optimizer.
+``repro.engine``
+    The vectorized pipeline execution engine and physical planner.
+``repro.cluster``
+    The simulated distributed runtime (master, workers, shuffle network).
+``repro.lillinalg``
+    The lilLinAlg distributed linear-algebra DSL of Section 8.3.
+``repro.ml``
+    LDA, GMM, and k-means implementations of Section 8.5.
+``repro.tpch``
+    The denormalized TPC-H object workloads of Section 8.4.
+``repro.baseline``
+    A Spark-like managed-runtime engine used as the benchmark comparator.
+"""
+
+__version__ = "0.1.0"

@@ -1,0 +1,15 @@
+"""The Spark-like baseline engine used as the benchmark comparator."""
+
+from repro.baseline.dataset import Dataset, ParquetStore
+from repro.baseline.rdd import RDD, BaselineContext, Broadcast
+from repro.baseline.serde import KryoSerde, SimulatedHDFS
+
+__all__ = [
+    "BaselineContext",
+    "Broadcast",
+    "Dataset",
+    "KryoSerde",
+    "ParquetStore",
+    "RDD",
+    "SimulatedHDFS",
+]

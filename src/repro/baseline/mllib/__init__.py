@@ -1,0 +1,7 @@
+"""mllib-style library on the baseline engine (the Spark comparators)."""
+
+from repro.baseline.mllib import gmm, kmeans, lda, linalg
+from repro.baseline.mllib.linalg import RowMatrix, linear_regression
+
+__all__ = ["RowMatrix", "gmm", "kmeans", "lda", "linalg",
+           "linear_regression"]

@@ -1,0 +1,91 @@
+"""mllib-style k-means for the baseline engine (Section 8.5.1).
+
+Algorithmically matched to the PC implementation: random initialization,
+Lloyd iterations, and the norm lower-bound trick
+``||a-b|| >= |(||a|| - ||b||)|`` to skip distance computations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BaselineError
+
+
+def closest_center(point, point_norm, centers, center_norms):
+    """Index of the nearest center, using the norm lower bound."""
+    best_index = 0
+    best_dist = None
+    for index, center in enumerate(centers):
+        bound = point_norm - center_norms[index]
+        if best_dist is not None and bound * bound >= best_dist:
+            continue
+        delta = point - center
+        dist = float(delta @ delta)
+        if best_dist is None or dist < best_dist:
+            best_dist = dist
+            best_index = index
+    return best_index, best_dist
+
+
+class KMeansModel:
+    def __init__(self, centers):
+        self.centers = np.asarray(centers)
+
+    def predict(self, point):
+        norms = np.linalg.norm(self.centers, axis=1)
+        index, _d = closest_center(
+            np.asarray(point), float(np.linalg.norm(point)),
+            self.centers, norms,
+        )
+        return index
+
+
+def initialize(points_rdd, k, seed=0):
+    """Random init: sample k starting centers (one cluster pass)."""
+    sample = points_rdd.take(max(k * 20, k))
+    if len(sample) < k:
+        raise BaselineError("fewer points than clusters")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(sample), size=k, replace=False)
+    return np.array([sample[i] for i in chosen])
+
+
+def train(points_rdd, k, iterations, seed=0):
+    """Lloyd's algorithm over the RDD; returns (model, per-iter centers)."""
+    centers = initialize(points_rdd, k, seed=seed)
+    history = []
+    for _iteration in range(iterations):
+        centers = _lloyd_step(points_rdd, centers)
+        history.append(centers.copy())
+    return KMeansModel(centers), history
+
+
+def _lloyd_step(points_rdd, centers):
+    context = points_rdd.context
+    shared = context.broadcast(
+        (centers, np.linalg.norm(centers, axis=1))
+    )
+
+    def assign(index, partition):
+        local_centers, norms = shared.value(index)
+        out = []
+        for point in partition:
+            point = np.asarray(point)
+            idx, _d = closest_center(
+                point, float(np.linalg.norm(point)), local_centers, norms
+            )
+            out.append((idx, (point, 1)))
+        return out
+
+    from repro.baseline.rdd import RDD
+
+    assigned = RDD(context, "map_partitions_indexed", [points_rdd],
+                   fn=assign)
+    sums = assigned.reduce_by_key(
+        lambda a, b: (a[0] + b[0], a[1] + b[1])
+    ).collect()
+    new_centers = centers.copy()
+    for idx, (total, count) in sums:
+        new_centers[idx] = total / count
+    return new_centers

@@ -1,0 +1,127 @@
+"""mllib-style distributed linear algebra for the baseline engine.
+
+A :class:`RowMatrix` is an RDD of numpy row vectors, mirroring Spark
+mllib's ``RowMatrix``: Gram matrices and matrix products are computed by
+aggregating per-partition partial results to the driver.  Used by the
+Table 2 benchmark as the "Spark mllib" comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BaselineError
+
+
+class RowMatrix:
+    """A distributed matrix stored as an RDD of rows."""
+
+    def __init__(self, rows_rdd, n_cols=None):
+        self.rows = rows_rdd
+        self._n_cols = n_cols
+
+    @property
+    def n_cols(self):
+        if self._n_cols is None:
+            first = self.rows.take(1)
+            if not first:
+                raise BaselineError("empty RowMatrix")
+            self._n_cols = len(first[0])
+        return self._n_cols
+
+    def gramian(self):
+        """Compute ``X^T X`` by summing per-partition outer products."""
+        d = self.n_cols
+
+        def partial(partition):
+            acc = np.zeros((d, d))
+            for row in partition:
+                acc += np.outer(row, row)
+            return [acc]
+
+        partials = self.rows.map_partitions(partial).collect()
+        return sum(partials, np.zeros((d, d)))
+
+    def transpose_multiply_vector(self, y_rdd):
+        """Compute ``X^T y`` where ``y`` is a row-aligned RDD of scalars.
+
+        Rows and responses are zipped by joining on a synthetic index —
+        the shuffle-heavy path a naive mllib user ends up with.
+        """
+        indexed_rows = self.rows.map_partitions(
+            lambda part: [(i, r) for i, r in enumerate(part)]
+        )
+        # Partition-local zip: both RDDs were created with aligned
+        # partitions, so pairing within partitions is safe.
+        d = self.n_cols
+
+        def partial(pair_part):
+            acc = np.zeros(d)
+            for row, y in pair_part:
+                acc += row * y
+            return [acc]
+
+        zipped = _zip_partitions(self.rows, y_rdd)
+        partials = zipped.map_partitions(partial).collect()
+        return sum(partials, np.zeros(d))
+
+    def multiply_local(self, local):
+        """``X @ A`` for a small driver-side matrix ``A`` (broadcast)."""
+        local = np.asarray(local)
+        shared = self.rows.context.broadcast(local)
+
+        def apply_block(index, partition):
+            a = shared.value(index)
+            return [row @ a for row in partition]
+
+        from repro.baseline.rdd import RDD
+
+        return RowMatrix(
+            RDD(self.rows.context, "map_partitions_indexed",
+                [self.rows], fn=apply_block),
+            n_cols=local.shape[1],
+        )
+
+    def nearest_neighbor(self, query, metric=None):
+        """Row index minimizing the (A-weighted) squared distance."""
+        query = np.asarray(query)
+        metric = np.eye(len(query)) if metric is None else np.asarray(metric)
+        shared = self.rows.context.broadcast((query, metric))
+
+        def partial(index, partition):
+            q, a = shared.value(index)
+            best = None
+            for offset, row in enumerate(partition):
+                delta = row - q
+                dist = float(delta @ a @ delta)
+                if best is None or dist < best[0]:
+                    best = (dist, index, offset, row)
+            return [best] if best is not None else []
+
+        from repro.baseline.rdd import RDD
+
+        candidates = RDD(
+            self.rows.context, "map_partitions_indexed", [self.rows],
+            fn=partial,
+        ).collect()
+        return min(candidates, key=lambda c: c[0])
+
+
+def _zip_partitions(left, right):
+    """Pair two partition-aligned RDDs element-wise (driver-side)."""
+    left_parts = left._compute_all()
+    right_parts = right._compute_all()
+    context = left.context
+    paired = [
+        list(zip(lp, rp)) for lp, rp in zip(left_parts, right_parts)
+    ]
+    return context.parallelize(
+        [record for part in paired for record in part]
+    )
+
+
+def linear_regression(x_matrix, y_rdd):
+    """OLS through the normal equations, mllib style."""
+    gram = x_matrix.gramian()
+    xty = x_matrix.transpose_multiply_vector(y_rdd)
+    return np.linalg.solve(gram, xty)

@@ -1,0 +1,359 @@
+"""A Spark-like lazy RDD engine — the managed-runtime comparator.
+
+This is a from-scratch, single-process reproduction of the execution
+model the paper benchmarks PC against: lazy, partitioned datasets with
+narrow transformations (map / filter / flatMap) that pipeline within a
+partition and wide transformations (reduceByKey / groupByKey / join) that
+*shuffle* — and every shuffle serializes records with pickle on the way
+out and deserializes on the way in, faithfully reproducing the
+per-record serde and allocation costs of a JVM dataflow engine.
+
+Tuning knobs the Table 4 ablation exercises are here too: ``persist()``
+(cache deserialized partitions), ``broadcast()`` + ``join(..., broadcast_
+hint=True)`` (avoid shuffling the big side).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.baseline.serde import KryoSerde, SimulatedHDFS
+from repro.errors import BaselineError
+
+_rdd_ids = itertools.count(1)
+
+
+class BaselineContext:
+    """The SparkContext stand-in: partitions, serde, HDFS, metrics."""
+
+    def __init__(self, n_partitions=4):
+        self.n_partitions = n_partitions
+        self.serde = KryoSerde()
+        self.hdfs = SimulatedHDFS(self.serde)
+        self.shuffle_bytes = 0
+        self.shuffles = 0
+
+    # -- dataset creation ---------------------------------------------------------
+
+    def parallelize(self, data, n_partitions=None):
+        """An RDD over in-driver data (no serde until a boundary)."""
+        n = n_partitions or self.n_partitions
+        data = list(data)
+        chunk = (len(data) + n - 1) // max(n, 1) or 1
+        partitions = [
+            data[i * chunk:(i + 1) * chunk] for i in range(n)
+        ]
+        return RDD(self, kind="parallelize", parents=[],
+                   payload=partitions)
+
+    def object_file(self, path):
+        """An RDD reading a serialized object file from simulated HDFS.
+
+        Every evaluation deserializes — Spark's "hot HDFS" read path.
+        """
+        return RDD(self, kind="object_file", parents=[], payload=path)
+
+    def save_object_file(self, rdd, path):
+        """Serialize an RDD's partitions into simulated HDFS."""
+        self.hdfs.write(path, rdd._compute_all())
+
+    def broadcast(self, value):
+        """Ship ``value`` to every partition (serialized once per copy)."""
+        blob = self.serde.dumps(value)
+        copies = [self.serde.loads(blob) for _ in range(self.n_partitions)]
+        return Broadcast(copies)
+
+    def stats(self):
+        return {
+            "serde": self.serde.stats(),
+            "shuffles": self.shuffles,
+            "shuffle_bytes": self.shuffle_bytes,
+        }
+
+
+class Broadcast:
+    """A broadcast variable: one deserialized copy per partition."""
+
+    def __init__(self, copies):
+        self._copies = copies
+
+    def value(self, partition_index=0):
+        return self._copies[partition_index % len(self._copies)]
+
+
+class RDD:
+    """A lazy, partitioned dataset."""
+
+    def __init__(self, context, kind, parents, payload=None, fn=None):
+        self.context = context
+        self.rdd_id = next(_rdd_ids)
+        self.kind = kind
+        self.parents = parents
+        self.payload = payload
+        self.fn = fn
+        self._cached = None
+        self._persist = False
+
+    # -- narrow transformations ------------------------------------------------------
+
+    def map(self, fn):
+        """Per-record transformation (pipelined, no serde)."""
+        return RDD(self.context, "map", [self], fn=fn)
+
+    def flat_map(self, fn):
+        """Per-record one-to-many transformation."""
+        return RDD(self.context, "flat_map", [self], fn=fn)
+
+    def filter(self, fn):
+        """Keep records satisfying ``fn``."""
+        return RDD(self.context, "filter", [self], fn=fn)
+
+    def map_partitions(self, fn):
+        """Whole-partition transformation."""
+        return RDD(self.context, "map_partitions", [self], fn=fn)
+
+    def map_values(self, fn):
+        """Transform the value of (key, value) records."""
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def key_by(self, fn):
+        """Turn records into (fn(record), record) pairs."""
+        return self.map(lambda record: (fn(record), record))
+
+    # -- wide transformations ------------------------------------------------------------
+
+    def reduce_by_key(self, fn):
+        """Shuffle (key, value) pairs and combine values per key.
+
+        Map-side combining happens before the shuffle (as in Spark), but
+        the shuffled records are still serialized per partition.
+        """
+        return RDD(self.context, "reduce_by_key", [self], fn=fn)
+
+    def group_by_key(self):
+        """Shuffle (key, value) pairs into (key, [values]) groups."""
+        return RDD(self.context, "group_by_key", [self])
+
+    def join(self, other, broadcast_hint=False):
+        """Inner join of two (key, value) RDDs.
+
+        ``broadcast_hint=True`` is the Table 4 "join hint": the right side
+        is collected, broadcast, and the join degenerates to a map over
+        the left side, avoiding the full shuffle.
+        """
+        if broadcast_hint:
+            table = {}
+            for key, value in other.collect():
+                table.setdefault(key, []).append(value)
+            shared = self.context.broadcast(table)
+
+            def probe(index, partition):
+                local = shared.value(index)
+                out = []
+                for key, value in partition:
+                    for match in local.get(key, ()):
+                        out.append((key, (value, match)))
+                return out
+
+            return RDD(self.context, "map_partitions_indexed", [self],
+                       fn=probe)
+        return RDD(self.context, "join", [self, other])
+
+    def distinct(self):
+        """Shuffle-based deduplication."""
+        return (
+            self.map(lambda record: (record, None))
+            .reduce_by_key(lambda a, b: a)
+            .map(lambda kv: kv[0])
+        )
+
+    # -- persistence ------------------------------------------------------------------------
+
+    def persist(self):
+        """Cache deserialized partitions in RAM after first evaluation."""
+        self._persist = True
+        return self
+
+    cache = persist
+
+    def unpersist(self):
+        self._persist = False
+        self._cached = None
+        return self
+
+    # -- actions ---------------------------------------------------------------------------------
+
+    def collect(self):
+        """All records, gathered to the driver."""
+        return [record for part in self._compute_all() for record in part]
+
+    def count(self):
+        return sum(len(part) for part in self._compute_all())
+
+    def reduce(self, fn):
+        result = None
+        first = True
+        for part in self._compute_all():
+            for record in part:
+                if first:
+                    result = record
+                    first = False
+                else:
+                    result = fn(result, record)
+        if first:
+            raise BaselineError("reduce of an empty RDD")
+        return result
+
+    def take(self, n):
+        out = []
+        for part in self._compute_all():
+            for record in part:
+                out.append(record)
+                if len(out) == n:
+                    return out
+        return out
+
+    def top(self, n, key=lambda x: x):
+        """Largest ``n`` records, computed per-partition then merged."""
+        import heapq
+
+        candidates = []
+        for part in self._compute_all():
+            candidates.extend(heapq.nlargest(n, part, key=key))
+        return heapq.nlargest(n, candidates, key=key)
+
+    # -- evaluation --------------------------------------------------------------------------------
+
+    def _compute_all(self):
+        if self._cached is not None:
+            return self._cached
+        partitions = self._materialize()
+        if self._persist:
+            self._cached = partitions
+        return partitions
+
+    def _materialize(self):
+        context = self.context
+        kind = self.kind
+        if kind == "parallelize":
+            return [list(part) for part in self.payload]
+        if kind == "object_file":
+            return context.hdfs.read(self.payload)
+        if kind == "map":
+            return [
+                [self.fn(record) for record in part]
+                for part in self.parents[0]._compute_all()
+            ]
+        if kind == "flat_map":
+            return [
+                [out for record in part for out in self.fn(record)]
+                for part in self.parents[0]._compute_all()
+            ]
+        if kind == "filter":
+            return [
+                [record for record in part if self.fn(record)]
+                for part in self.parents[0]._compute_all()
+            ]
+        if kind == "map_partitions":
+            return [
+                list(self.fn(part))
+                for part in self.parents[0]._compute_all()
+            ]
+        if kind == "map_partitions_indexed":
+            return [
+                list(self.fn(index, part))
+                for index, part in enumerate(
+                    self.parents[0]._compute_all()
+                )
+            ]
+        if kind == "reduce_by_key":
+            return self._shuffle_reduce()
+        if kind == "group_by_key":
+            return self._shuffle_group()
+        if kind == "join":
+            return self._shuffle_join()
+        raise BaselineError("unknown RDD kind %r" % kind)
+
+    def _exchange(self, outgoing):
+        """The shuffle: serialize per destination partition, deserialize.
+
+        ``outgoing`` is, per source partition, a list of per-destination
+        record lists.  Returns the per-destination gathered records.
+        """
+        context = self.context
+        n = context.n_partitions
+        received = [[] for _ in range(n)]
+        for per_dest in outgoing:
+            for dest in range(n):
+                records = per_dest[dest]
+                if not records:
+                    continue
+                blob = context.serde.dumps(records)
+                context.shuffle_bytes += len(blob)
+                received[dest].extend(context.serde.loads(blob))
+        context.shuffles += 1
+        return received
+
+    def _partition_pairs(self, parent):
+        n = self.context.n_partitions
+        outgoing = []
+        for part in parent._compute_all():
+            per_dest = [[] for _ in range(n)]
+            for key, value in part:
+                per_dest[hash(key) % n].append((key, value))
+            outgoing.append(per_dest)
+        return outgoing
+
+    def _shuffle_reduce(self):
+        parent = self.parents[0]
+        n = self.context.n_partitions
+        fn = self.fn
+        # Map-side combine.
+        outgoing = []
+        for part in parent._compute_all():
+            combined = {}
+            for key, value in part:
+                if key in combined:
+                    combined[key] = fn(combined[key], value)
+                else:
+                    combined[key] = value
+            per_dest = [[] for _ in range(n)]
+            for key, value in combined.items():
+                per_dest[hash(key) % n].append((key, value))
+            outgoing.append(per_dest)
+        received = self._exchange(outgoing)
+        out = []
+        for records in received:
+            merged = {}
+            for key, value in records:
+                if key in merged:
+                    merged[key] = fn(merged[key], value)
+                else:
+                    merged[key] = value
+            out.append(list(merged.items()))
+        return out
+
+    def _shuffle_group(self):
+        received = self._exchange(self._partition_pairs(self.parents[0]))
+        out = []
+        for records in received:
+            groups = {}
+            for key, value in records:
+                groups.setdefault(key, []).append(value)
+            out.append(list(groups.items()))
+        return out
+
+    def _shuffle_join(self):
+        left = self._exchange(self._partition_pairs(self.parents[0]))
+        right = self._exchange(self._partition_pairs(self.parents[1]))
+        out = []
+        for left_records, right_records in zip(left, right):
+            table = {}
+            for key, value in right_records:
+                table.setdefault(key, []).append(value)
+            joined = []
+            for key, value in left_records:
+                for match in table.get(key, ()):
+                    joined.append((key, (value, match)))
+            out.append(joined)
+        return out

@@ -1,0 +1,76 @@
+"""Serialization for the Spark-like baseline engine.
+
+The baseline models the managed-runtime cost structure the paper attacks:
+objects must be *serialized* whenever they cross a storage or shuffle
+boundary and *deserialized* on the other side.  ``pickle`` plays the role
+of Kryo; the CPU it burns is real, which is exactly the point of the
+PC-vs-baseline benchmarks — PC pages move with zero serde while the
+baseline pays per object.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+
+class KryoSerde:
+    """Pickle-backed serializer with byte/call accounting."""
+
+    def __init__(self):
+        self.serialized_bytes = 0
+        self.deserialized_bytes = 0
+        self.serialize_calls = 0
+        self.deserialize_calls = 0
+
+    def dumps(self, obj):
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.serialized_bytes += len(data)
+        self.serialize_calls += 1
+        return data
+
+    def loads(self, data):
+        self.deserialized_bytes += len(data)
+        self.deserialize_calls += 1
+        return pickle.loads(data)
+
+    def stats(self):
+        return {
+            "serialized_bytes": self.serialized_bytes,
+            "deserialized_bytes": self.deserialized_bytes,
+            "serialize_calls": self.serialize_calls,
+            "deserialize_calls": self.deserialize_calls,
+        }
+
+    def reset(self):
+        self.serialized_bytes = 0
+        self.deserialized_bytes = 0
+        self.serialize_calls = 0
+        self.deserialize_calls = 0
+
+
+class SimulatedHDFS:
+    """A named store of serialized partition blobs.
+
+    Reading always deserializes (the Table 3 "hot HDFS" configuration:
+    the bytes are cached in RAM, the serde cost is not avoidable).
+    """
+
+    def __init__(self, serde):
+        self.serde = serde
+        self._files = {}  # path -> [partition blobs]
+
+    def write(self, path, partitions):
+        self._files[path] = [self.serde.dumps(part) for part in partitions]
+
+    def read(self, path):
+        try:
+            blobs = self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+        return [self.serde.loads(blob) for blob in blobs]
+
+    def exists(self, path):
+        return path in self._files
+
+    def size_of(self, path):
+        return sum(len(blob) for blob in self._files.get(path, []))

@@ -1,0 +1,10 @@
+"""Catalog subsystem: cluster metadata and dynamic type distribution."""
+
+from repro.catalog.catalog import (
+    CatalogManager,
+    LocalCatalog,
+    SetMetadata,
+    SharedLibrary,
+)
+
+__all__ = ["CatalogManager", "LocalCatalog", "SetMetadata", "SharedLibrary"]

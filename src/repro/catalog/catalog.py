@@ -1,0 +1,212 @@
+"""The PC catalog: cluster metadata and dynamic type distribution.
+
+The master node's *catalog manager* (Section 2, Appendix D.1) serves two
+kinds of metadata:
+
+* the authoritative mapping between type codes and PC object types, plus
+  the "shared libraries" implementing them;
+* database / set metadata for the distributed storage subsystem.
+
+The paper ships compiled ``.so`` files: a user registers a class, the
+catalog stores the library, and any worker process that dereferences a
+handle with an unknown type code fetches the library, ``dlopen``s it, and
+patches the object's vtable pointer (Section 6.3).  Here a
+:class:`SharedLibrary` wraps the Python class objects; "loading" one into
+a worker installs its descriptors into the worker's local
+:class:`~repro.memory.typecodes.TypeRegistry` under the master-assigned
+codes, which is exactly the observable behaviour of the ``.so`` protocol.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import CatalogError, UnknownTypeCodeError
+from repro.memory.objects import PCObject, as_descriptor
+from repro.memory.typecodes import TypeRegistry
+
+
+class SharedLibrary:
+    """The stand-in for a compiled ``.so`` holding one or more PC types."""
+
+    def __init__(self, name, descriptors):
+        self.name = name
+        #: list of (type_name, descriptor) pairs the library provides.
+        self.descriptors = list(descriptors)
+
+    def __repr__(self):
+        return "<SharedLibrary %s: %s>" % (
+            self.name,
+            ", ".join(name for name, _d in self.descriptors),
+        )
+
+
+class SetMetadata:
+    """Catalog record for one stored set."""
+
+    def __init__(self, database, name, type_name, partitions):
+        self.database = database
+        self.name = name
+        self.type_name = type_name
+        #: worker ids holding partitions of the set.
+        self.partitions = list(partitions)
+
+    @property
+    def qualified_name(self):
+        return "%s.%s" % (self.database, self.name)
+
+
+class CatalogManager:
+    """The master catalog: authoritative type codes and set metadata."""
+
+    def __init__(self):
+        self.registry = TypeRegistry()
+        self._libraries = {}  # type code -> SharedLibrary
+        self._databases = {}  # db name -> {set name -> SetMetadata}
+        self._lock = threading.Lock()
+        self.library_requests = 0
+
+    # -- type registration -----------------------------------------------------
+
+    def register_type(self, cls_or_descriptor, library_name=None):
+        """Register a PC type cluster-wide; returns its type code.
+
+        Mirrors the paper's requirement that "all classes deriving from
+        PC's Object base class be registered with the PC catalog server
+        before they are loaded into the distributed storage subsystem".
+        """
+        descriptor = _to_descriptor(cls_or_descriptor)
+        code = self._register_closure(descriptor, library_name)
+        return code
+
+    def _register_closure(self, descriptor, library_name=None):
+        """Register ``descriptor`` and every type its layout depends on.
+
+        A compiled ``.so`` carries the template instantiations a class
+        uses, so shipping ``Customer`` must also make ``vector<order>``
+        and friends resolvable on every worker.
+        """
+        code = descriptor.type_code(self.registry)
+        if code & 0x80000000:  # simple types need no library
+            return code
+        with self._lock:
+            known = code in self._libraries
+            if not known:
+                name = library_name or ("lib%s.so" % descriptor.name)
+                self._libraries[code] = SharedLibrary(
+                    name, [(descriptor.name, descriptor)]
+                )
+        if not known:
+            for dependent in descriptor.dependents():
+                self._register_closure(dependent)
+        return code
+
+    def library_for_code(self, code):
+        """Serve the shared library implementing ``code`` (worker fetch)."""
+        with self._lock:
+            self.library_requests += 1
+            library = self._libraries.get(code)
+        if library is None:
+            raise UnknownTypeCodeError(code)
+        return library
+
+    def code_for_type(self, cls_or_descriptor):
+        """Type code previously assigned to a registered type, or None."""
+        descriptor = _to_descriptor(cls_or_descriptor)
+        return self.registry.code_for_name(descriptor.name)
+
+    # -- database / set metadata -------------------------------------------------
+
+    def create_database(self, name):
+        """Create a database namespace; idempotent."""
+        with self._lock:
+            self._databases.setdefault(name, {})
+
+    def create_set(self, database, name, type_name, partitions):
+        """Record a new set partitioned over ``partitions`` (worker ids)."""
+        with self._lock:
+            if database not in self._databases:
+                raise CatalogError("database %r does not exist" % database)
+            sets = self._databases[database]
+            if name in sets:
+                raise CatalogError(
+                    "set %r already exists in database %r" % (name, database)
+                )
+            meta = SetMetadata(database, name, type_name, partitions)
+            sets[name] = meta
+            return meta
+
+    def drop_set(self, database, name):
+        """Remove a set's metadata."""
+        with self._lock:
+            self._databases.get(database, {}).pop(name, None)
+
+    def set_metadata(self, database, name):
+        """Metadata for one set, or raise."""
+        with self._lock:
+            try:
+                return self._databases[database][name]
+            except KeyError:
+                raise CatalogError(
+                    "unknown set %s.%s" % (database, name)
+                ) from None
+
+    def list_sets(self, database=None):
+        """All set metadata records, optionally restricted to one database."""
+        with self._lock:
+            if database is not None:
+                return list(self._databases.get(database, {}).values())
+            return [
+                meta
+                for sets in self._databases.values()
+                for meta in sets.values()
+            ]
+
+
+class LocalCatalog:
+    """A worker's catalog cache with the dynamic-library fetch path.
+
+    The local registry resolves most lookups; a miss triggers a simulated
+    ``.so`` fetch from the master catalog, after which the type is
+    installed locally under the master's code (``getVTablePtr`` + lookup
+    table insertion in the paper's terms).
+    """
+
+    def __init__(self, master):
+        self.master = master
+        self.registry = TypeRegistry(
+            miss_handler=self._fetch_library,
+            register_delegate=self._register_with_master,
+        )
+        self.fetches = 0
+
+    def _register_with_master(self, name, descriptor):
+        """Forward a brand-new local type to the master for a global code."""
+        return self.master.register_type(descriptor)
+
+    def _fetch_library(self, registry, code):
+        library = self.master.library_for_code(code)
+        self.fetches += 1
+        for type_name, descriptor in library.descriptors:
+            master_code = self.master.registry.code_for_name(type_name)
+            registry.register(type_name, descriptor, code=master_code)
+
+    def preload(self, cls_or_descriptor):
+        """Eagerly install a type (what deploying code to a worker does)."""
+        descriptor = _to_descriptor(cls_or_descriptor)
+        code = self.master.registry.code_for_name(descriptor.name)
+        if code is None:
+            raise CatalogError(
+                "type %r is not registered with the master catalog"
+                % descriptor.name
+            )
+        self.registry.register(descriptor.name, descriptor, code=code)
+        return code
+
+
+def _to_descriptor(cls_or_descriptor):
+    if isinstance(cls_or_descriptor, type) and issubclass(
+        cls_or_descriptor, PCObject
+    ):
+        return cls_or_descriptor.pc_descriptor
+    return as_descriptor(cls_or_descriptor)

@@ -1,0 +1,22 @@
+"""The simulated distributed runtime: master, workers, network, scheduler."""
+
+from repro.cluster.cluster import ClusterLoader, PCCluster
+from repro.cluster.network import SimulatedNetwork, estimate_value_bytes
+from repro.cluster.scheduler import (
+    DEFAULT_BROADCAST_THRESHOLD,
+    DistributedScheduler,
+    JobStage,
+)
+from repro.cluster.worker import BackendProcess, WorkerNode
+
+__all__ = [
+    "BackendProcess",
+    "ClusterLoader",
+    "DEFAULT_BROADCAST_THRESHOLD",
+    "DistributedScheduler",
+    "JobStage",
+    "PCCluster",
+    "SimulatedNetwork",
+    "WorkerNode",
+    "estimate_value_bytes",
+]

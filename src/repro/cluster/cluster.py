@@ -1,0 +1,343 @@
+"""PCCluster: the user-facing handle on a simulated PC deployment.
+
+A :class:`PCCluster` stands up one master (catalog manager, distributed
+storage manager, TCAP optimizer, distributed query scheduler) and N
+workers (front-end + back-end process pairs), wired through a
+byte-accounted simulated network — the full runtime of Figure 4 inside
+one Python process.
+
+Typical use mirrors the paper's client code::
+
+    cluster = PCCluster(n_workers=4)
+    cluster.register_type(DataPoint)
+    cluster.create_database("db")
+    cluster.create_set("db", "points", DataPoint)
+    with cluster.loader("db", "points") as load:
+        for row in data:
+            load.append(DataPoint, dims=..., data=row)
+    cluster.execute_computations(my_writer)
+    centroids = cluster.read_aggregate_set("db", "centroids", comp=my_agg)
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.catalog import CatalogManager
+from repro.engine.physical import plan_pipelines
+from repro.engine.vectors import DEFAULT_BATCH_SIZE
+from repro.errors import BlockFullError, StorageError
+from repro.memory.builtins import AnyObject, MapFacade, VectorType
+from repro.memory.handle import Handle
+from repro.memory.objects import make_object_on
+from repro.storage import DistributedStorageManager
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.tcap.compiler import compile_computations
+from repro.tcap.optimizer import optimize
+from repro.cluster.network import SimulatedNetwork
+from repro.cluster.scheduler import (
+    DEFAULT_BROADCAST_THRESHOLD,
+    DistributedScheduler,
+)
+from repro.cluster.worker import WorkerNode
+
+_ROOT_VECTOR = VectorType(AnyObject)
+
+
+class PCCluster:
+    """One master plus ``n_workers`` simulated worker nodes."""
+
+    def __init__(self, n_workers=4, page_size=DEFAULT_PAGE_SIZE,
+                 worker_memory=64 << 20, batch_size=DEFAULT_BATCH_SIZE,
+                 broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
+                 combiner_page_size=None, spill_root=None):
+        self.catalog = CatalogManager()
+        self.network = SimulatedNetwork()
+        self.page_size = page_size
+        self.batch_size = batch_size
+        self.broadcast_threshold = broadcast_threshold
+        self.combiner_page_size = combiner_page_size or page_size
+        self.workers = []
+        self.storage_manager = DistributedStorageManager(self.catalog)
+        for index in range(n_workers):
+            spill = None
+            if spill_root is not None:
+                spill = "%s/worker-%d" % (spill_root, index)
+            worker = WorkerNode(
+                "worker-%d" % index, self.catalog, worker_memory, page_size,
+                spill_dir=spill,
+            )
+            self.workers.append(worker)
+            self.storage_manager.attach_server(worker.storage)
+        self.python_outputs = {}  # (db, set) -> python values (non-PC sinks)
+        self.last_program = None
+        self.last_plan = None
+        self.last_job_log = None
+
+    # -- metadata -------------------------------------------------------------------
+
+    def register_type(self, cls_or_descriptor):
+        """Register a PC type with the master catalog (required before use)."""
+        return self.catalog.register_type(cls_or_descriptor)
+
+    def create_database(self, name):
+        self.storage_manager.create_database(name)
+
+    def create_set(self, database, name, cls=None, page_size=None):
+        """Create a set partitioned over all workers."""
+        type_name = None
+        if cls is not None:
+            self.register_type(cls)
+            type_name = getattr(cls, "__name__", getattr(cls, "name", None))
+        return self.storage_manager.create_set(
+            database, name, type_name, page_size=page_size
+        )
+
+    def ensure_set(self, database, name):
+        """Create a set if it does not exist (used for output sets)."""
+        self.storage_manager.create_database(database)
+        if (database, name) not in self.storage_manager:
+            self.storage_manager.create_set(database, name, None)
+
+    def clear_set(self, database, name):
+        """Drop all stored pages of a set (keeps the metadata)."""
+        for partition in self.storage_manager.partitions(database, name):
+            partition.clear()
+        self.python_outputs.pop((database, name), None)
+
+    def drop_set(self, database, name):
+        self.storage_manager.drop_set(database, name)
+        self.python_outputs.pop((database, name), None)
+
+    # -- loading data -----------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loader(self, database, set_name, page_size=None):
+        """Client-side bulk loader: build pages locally, ship bytes.
+
+        Pages are filled on the client with in-place allocations and
+        dispatched whole to round-robin workers — the paper's
+        ``sendData`` with zero-cost movement.
+        """
+        loader = ClusterLoader(self, database, set_name,
+                               page_size or self.page_size)
+        try:
+            yield loader
+        finally:
+            loader.flush()
+
+    # -- execution ----------------------------------------------------------------------
+
+    def execute_computations(self, sinks, optimized=True,
+                             build_side_overrides=None):
+        """Compile, optimize, plan, and run a computation graph.
+
+        Returns the scheduler's job log (the Figure 4 trace).
+        """
+        program = compile_computations(sinks)
+        if optimized:
+            optimize(program)
+        overrides = self._choose_build_sides(program)
+        overrides.update(build_side_overrides or {})
+        plan = plan_pipelines(program, build_side_overrides=overrides)
+        scheduler = DistributedScheduler(
+            self, program, plan,
+            broadcast_threshold=self.broadcast_threshold,
+        )
+        job_log = scheduler.execute()
+        self.last_program = program
+        self.last_plan = plan
+        self.last_job_log = job_log
+        return job_log
+
+    def _choose_build_sides(self, program):
+        """Pick each join's smaller input as the hash-build side.
+
+        This is a physical decision the user never makes (the paper's
+        data independence): the producer chain of each join input is
+        walked back to its SCAN and the stored set sizes compared.
+        Inputs whose size cannot be traced keep the default.
+        """
+        from repro.tcap.ir import JoinStmt, OutputStmt, ScanStmt
+
+        producers = {
+            s.output: s for s in program.statements
+            if not isinstance(s, OutputStmt)
+        }
+
+        def source_bytes(vlist):
+            statement = producers.get(vlist)
+            while statement is not None and not isinstance(
+                statement, (ScanStmt, JoinStmt)
+            ):
+                inputs = statement.input_names()
+                if not inputs:
+                    return None
+                statement = producers.get(inputs[0])
+            if not isinstance(statement, ScanStmt):
+                return None
+            total = 0
+            try:
+                partitions = self.storage_manager.partitions(
+                    statement.database, statement.set_name
+                )
+            except Exception:
+                return None
+            for partition in partitions:
+                for page_id in partition.page_ids:
+                    page = partition.pool.pin(page_id)
+                    total += page.block.used if page.block else 0
+                    partition.pool.unpin(page_id)
+            return total
+
+        overrides = {}
+        for statement in program.statements:
+            if not isinstance(statement, JoinStmt):
+                continue
+            left = source_bytes(statement.left_input)
+            right = source_bytes(statement.right_input)
+            if left is not None and right is not None and left < right:
+                overrides[statement.output] = "left"
+        return overrides
+
+    # -- reading results --------------------------------------------------------------------
+
+    def scan(self, database, set_name):
+        """Gather a set's contents to the client.
+
+        PC objects come back as handles/facades (the client shares the
+        process in this simulation); Python-value outputs come back
+        as-is.
+        """
+        results = []
+        try:
+            partitions = self.storage_manager.partitions(database, set_name)
+        except Exception:
+            partitions = []
+        for partition in partitions:
+            results.extend(partition.scan_objects())
+        results.extend(self.python_outputs.get((database, set_name), []))
+        return results
+
+    def read_aggregate_set(self, database, set_name, comp=None):
+        """Merge an aggregation output set into one Python dict."""
+        merged = {}
+        decode_key = comp.decode_key if comp is not None else (lambda k: k)
+        decode_value = comp.decode_value if comp is not None else (lambda v: v)
+        for item in self.scan(database, set_name):
+            view = item
+            if isinstance(item, Handle) and not item.is_null:
+                view = item.deref()
+            if isinstance(view, MapFacade):
+                for key, value in view.items():
+                    merged[decode_key(key)] = decode_value(value)
+            elif isinstance(view, tuple) and len(view) == 2:
+                merged[decode_key(view[0])] = decode_value(view[1])
+            else:
+                raise StorageError(
+                    "set %s.%s does not look like an aggregation output"
+                    % (database, set_name)
+                )
+        return merged
+
+    # -- introspection ------------------------------------------------------------------------
+
+    def stats(self):
+        """Cluster-wide counters for tests and benches."""
+        return {
+            "network": self.network.stats(),
+            "workers": {
+                worker.worker_id: worker.storage.stats()
+                for worker in self.workers
+            },
+        }
+
+
+class ClusterLoader:
+    """Builds pages client-side and dispatches them to workers."""
+
+    def __init__(self, cluster, database, set_name, page_size):
+        self.cluster = cluster
+        self.database = database
+        self.set_name = set_name
+        self.page_size = page_size
+        self._block = None
+        self._root = None
+        self.pages_shipped = 0
+        self.objects_loaded = 0
+
+    def _open_block(self):
+        from repro.memory.block import AllocationBlock
+
+        self._block = AllocationBlock(
+            self.page_size, registry=self.cluster.catalog.registry
+        )
+        handle = make_object_on(self._block, _ROOT_VECTOR, [])
+        self._block.set_root(handle.offset, handle.type_code)
+        self._root = _ROOT_VECTOR.facade(self._block, handle.offset)
+
+    def append(self, type_or_class, init=None, **fields):
+        """Allocate one object in place on the client page."""
+        if self._block is None:
+            self._open_block()
+        for attempt in (0, 1):
+            try:
+                self._root.reserve(len(self._root) + 1)
+                handle = make_object_on(
+                    self._block, type_or_class, init, **fields
+                )
+                self._root.append(handle)
+                handle.release()
+                self.objects_loaded += 1
+                return
+            except BlockFullError:
+                if attempt:
+                    raise StorageError(
+                        "one object does not fit on an empty %d-byte page"
+                        % self.page_size
+                    )
+                self._ship_block()
+                self._open_block()
+
+    def append_built(self, build):
+        """Allocate via ``build(block) -> handle`` on the client page."""
+        if self._block is None:
+            self._open_block()
+        for attempt in (0, 1):
+            try:
+                from repro.memory.objects import use_allocation_block
+
+                self._root.reserve(len(self._root) + 1)
+                with use_allocation_block(self._block):
+                    handle = build(self._block)
+                self._root.append(handle)
+                handle.release()
+                self.objects_loaded += 1
+                return
+            except BlockFullError:
+                if attempt:
+                    raise StorageError(
+                        "one object does not fit on an empty %d-byte page"
+                        % self.page_size
+                    )
+                self._ship_block()
+                self._open_block()
+
+    def _ship_block(self):
+        if self._block is None or len(self._root) == 0:
+            return
+        target_id = self.cluster.storage_manager.next_target(
+            self.database, self.set_name
+        )
+        data = self.cluster.network.ship_page(
+            "client", target_id, self._block.to_bytes()
+        )
+        server = self.cluster.storage_manager.server(target_id)
+        server.get_set(self.database, self.set_name).adopt_page_bytes(data)
+        self.pages_shipped += 1
+        self._block = None
+        self._root = None
+
+    def flush(self):
+        """Ship the final partially-filled page."""
+        self._ship_block()

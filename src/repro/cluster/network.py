@@ -1,0 +1,76 @@
+"""The simulated cluster network.
+
+All inter-node traffic in the simulation flows through one
+:class:`SimulatedNetwork` so the benches can report what PC's design is
+about: how many bytes moved, and how many of them moved with zero
+serialization cost (whole PC pages) versus as structured rows.
+
+Within one OS process "shipping" is of course free; the value of the
+accounting is comparative — the Spark-like baseline pays real pickling
+CPU on every boundary, while the PC path ships page bytes verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def estimate_value_bytes(value):
+    """Cheap size estimate for row-shipped Python values."""
+    if isinstance(value, str):
+        return 16 + len(value)
+    if isinstance(value, (list, tuple)):
+        return 16 + sum(estimate_value_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return 16 + sum(
+            estimate_value_bytes(k) + estimate_value_bytes(v)
+            for k, v in value.items()
+        )
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return 16 + int(nbytes)
+    return 16
+
+
+class SimulatedNetwork:
+    """Byte-accounted message passing between simulated nodes."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes_total = 0
+        self.bytes_zero_copy = 0  # whole PC pages, no serde
+        self.bytes_rows = 0  # structured rows (join shuffles)
+        self.by_link = defaultdict(int)  # (src, dst) -> bytes
+
+    def ship_page(self, src, dst, data):
+        """Move a PC page's bytes; zero serialization on either end."""
+        nbytes = len(data)
+        self.messages += 1
+        self.bytes_total += nbytes
+        self.bytes_zero_copy += nbytes
+        self.by_link[(src, dst)] += nbytes
+        return data
+
+    def ship_rows(self, src, dst, rows):
+        """Move structured rows (the join-shuffle path)."""
+        nbytes = sum(estimate_value_bytes(row) for row in rows)
+        self.messages += 1
+        self.bytes_total += nbytes
+        self.bytes_rows += nbytes
+        self.by_link[(src, dst)] += nbytes
+        return rows
+
+    def stats(self):
+        return {
+            "messages": self.messages,
+            "bytes_total": self.bytes_total,
+            "bytes_zero_copy": self.bytes_zero_copy,
+            "bytes_rows": self.bytes_rows,
+        }
+
+    def reset(self):
+        self.messages = 0
+        self.bytes_total = 0
+        self.bytes_zero_copy = 0
+        self.bytes_rows = 0
+        self.by_link.clear()

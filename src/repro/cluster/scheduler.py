@@ -1,0 +1,588 @@
+"""The distributed query scheduler (Section 2, Appendix D).
+
+The scheduler takes an optimized TCAP program plus its physical plan and
+turns every pipeline into distributed *job stages*:
+
+* ``PipelineJobStage`` — a pipeline segment run by every worker's back-end
+  over its local data;
+* ``BuildHashTableJobStage`` — building join hash tables from shuffled or
+  broadcast data;
+* ``AggregationJobStage`` — merging shuffled pre-aggregation Maps (the
+  consuming stage of Figure 5).
+
+Join physicality is decided here, not in TCAP: a build side estimated
+smaller than ``broadcast_threshold`` bytes is broadcast to every worker;
+otherwise both sides are hash-partitioned (the paper's 2 GB rule,
+Section 8.3.2, scaled to simulation sizes).
+
+Aggregation shuffles are the paper's signature move and are reproduced
+bit-for-bit: each worker's pre-aggregated groups are materialized into a
+PC ``Map`` on a combiner page, the page's *bytes* are shipped, and the
+receiver reads the Map straight out of the arrived bytes — zero
+serialization on both ends.
+"""
+
+from __future__ import annotations
+
+from repro.core.computation import AggregateComp
+from repro.engine.physical import (
+    SINK_AGGREGATE,
+    SINK_HASH_BUILD,
+    SINK_MATERIALIZE,
+    SINK_OUTPUT,
+    SOURCE_SCAN,
+)
+from repro.engine.pipeline import (
+    AggregateSink,
+    HashBuildSink,
+    MaterializeSink,
+    PipelineEngine,
+    Sink,
+)
+from repro.engine.vectors import VectorList, batches_of
+from repro.errors import ExecutionError
+from repro.memory.block import AllocationBlock
+from repro.memory.builtins import MapType, stable_hash
+from repro.memory.objects import make_object_on
+from repro.tcap.ir import ApplyStmt, JoinStmt
+
+#: Scaled stand-in for the paper's 2 GB broadcast-join threshold.
+DEFAULT_BROADCAST_THRESHOLD = 8 << 20
+
+
+class JobStage:
+    """A record of one scheduled distributed job stage (for Figure 4)."""
+
+    def __init__(self, kind, detail):
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self):
+        return "%s(%s)" % (self.kind, self.detail)
+
+
+class DistributedScheduler:
+    """Schedules one execution of a program across the cluster."""
+
+    def __init__(self, cluster, program, plan,
+                 broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD):
+        self.cluster = cluster
+        self.program = program
+        self.plan = plan
+        self.broadcast_threshold = broadcast_threshold
+        self.join_modes = {}  # join output vlist -> "broadcast"|"partition"
+        self.job_log = []
+        self._engines = {}
+
+    # -- engines -------------------------------------------------------------------
+
+    def engine_for(self, worker):
+        engine = self._engines.get(worker.worker_id)
+        if engine is None:
+            def scan_reader(scan_stmt, _worker=worker):
+                page_set = _worker.storage.get_set(
+                    scan_stmt.database, scan_stmt.set_name
+                )
+                return page_set.scan_objects()
+
+            engine = PipelineEngine(
+                self.program, self.plan, scan_reader,
+                batch_size=self.cluster.batch_size,
+            )
+            self._engines[worker.worker_id] = engine
+            worker.backend.engines[id(self)] = engine
+        return engine
+
+    @property
+    def workers(self):
+        return self.cluster.workers
+
+    # -- main entry ------------------------------------------------------------------
+
+    def execute(self):
+        for pipeline in self.plan:
+            if pipeline.sink_kind == SINK_HASH_BUILD:
+                self._run_build(pipeline)
+            elif pipeline.sink_kind == SINK_AGGREGATE:
+                self._run_aggregate(pipeline)
+            elif pipeline.sink_kind == SINK_MATERIALIZE:
+                self._run_materialize(pipeline)
+            elif pipeline.sink_kind == SINK_OUTPUT:
+                self._run_output(pipeline)
+            else:
+                raise ExecutionError(
+                    "unschedulable sink %r" % pipeline.sink_kind
+                )
+        return self.job_log
+
+    # -- segment execution helpers ------------------------------------------------------
+
+    def _segments(self, stages):
+        """Split a stage chain at every *partitioned* join probe."""
+        segments = [[]]
+        for stage in stages:
+            if (
+                isinstance(stage, JoinStmt)
+                and self.join_modes.get(stage.output) == "partition"
+            ):
+                segments.append([stage])
+            else:
+                segments[-1].append(stage)
+        return segments
+
+    def _source_batches(self, worker, pipeline):
+        engine = self.engine_for(worker)
+        return engine._source_batches(pipeline)
+
+    def _run_stages_collect(self, worker, stages, batches):
+        """Run ``stages`` over ``batches``; returns collected columns."""
+        engine = self.engine_for(worker)
+        columns = None
+
+        def run():
+            nonlocal columns
+            for batch in batches:
+                engine.metrics.batches += 1
+                current = batch
+                empty = False
+                for stage in stages:
+                    engine.metrics.stage_invocations += 1
+                    current = engine._apply_stage(stage, current)
+                    if len(current) == 0:
+                        empty = True
+                        break
+                if empty:
+                    continue
+                if columns is None:
+                    columns = {name: [] for name in current.names()}
+                for name in columns:
+                    columns[name].extend(current.column(name))
+
+        worker.dispatch(run)
+        return columns or {}
+
+    def _run_stages_into_sink(self, worker, stages, batches, sink):
+        engine = self.engine_for(worker)
+
+        def run():
+            for batch in batches:
+                engine.metrics.batches += 1
+                pipeline = _StagesView(stages)
+                engine._process_batch(pipeline, batch, sink)
+            sink.finish()
+
+        worker.dispatch(run)
+
+    def _shuffle_columns(self, per_worker_columns, hash_column):
+        """Repartition rows by ``hash % n_workers``; returns per-worker columns."""
+        n = len(self.workers)
+        received = [None] * n
+        for src_index, columns in enumerate(per_worker_columns):
+            if not columns:
+                continue
+            names = list(columns)
+            hashes = columns[hash_column]
+            buckets = [dict((name, []) for name in names) for _ in range(n)]
+            for row, hash_value in enumerate(hashes):
+                dest = hash_value % n
+                bucket = buckets[dest]
+                for name in names:
+                    bucket[name].append(columns[name][row])
+            for dst_index, bucket in enumerate(buckets):
+                if not bucket[names[0]]:
+                    continue
+                rows = list(zip(*(bucket[name] for name in names)))
+                self.cluster.network.ship_rows(
+                    self.workers[src_index].worker_id,
+                    self.workers[dst_index].worker_id,
+                    rows,
+                )
+                target = received[dst_index]
+                if target is None:
+                    target = {name: [] for name in names}
+                    received[dst_index] = target
+                for name in names:
+                    target[name].extend(bucket[name])
+        return [r or {} for r in received]
+
+    def _probe_segments(self, pipeline, per_worker_columns, segments,
+                        sink_factory):
+        """Run the remaining probe segments, shuffling between them."""
+        for index, segment in enumerate(segments):
+            join = segment[0]
+            build_side = self.plan.build_sides.get(join.output, "right")
+            probe_hash = (
+                join.left_hash if build_side == "right" else join.right_hash
+            )
+            per_worker_columns = self._shuffle_columns(
+                per_worker_columns, probe_hash
+            )
+            last = index == len(segments) - 1
+            next_columns = []
+            for w_index, worker in enumerate(self.workers):
+                batches = batches_of(
+                    per_worker_columns[w_index], self.cluster.batch_size
+                )
+                if last:
+                    sink = sink_factory(worker)
+                    self._run_stages_into_sink(worker, segment, batches, sink)
+                else:
+                    next_columns.append(
+                        self._run_stages_collect(worker, segment, batches)
+                    )
+            per_worker_columns = next_columns
+
+    def _run_distributed_pipeline(self, pipeline, sink_factory):
+        """Run a full pipeline on every worker, honoring join partitioning."""
+        segments = self._segments(pipeline.stages)
+        first, rest = segments[0], segments[1:]
+        if not rest:
+            for worker in self.workers:
+                sink = sink_factory(worker)
+                batches = self._source_batches(worker, pipeline)
+                self._run_stages_into_sink(worker, first, batches, sink)
+            return
+        collected = []
+        for worker in self.workers:
+            batches = self._source_batches(worker, pipeline)
+            collected.append(
+                self._run_stages_collect(worker, first, batches)
+            )
+        self._probe_segments(pipeline, collected, rest, sink_factory)
+
+    # -- per-sink handlers ------------------------------------------------------------------
+
+    def _estimate_source_bytes(self, pipeline):
+        """Rough size of a pipeline's source for the broadcast decision."""
+        if pipeline.source_kind == SOURCE_SCAN:
+            scan = pipeline.source
+            total = 0
+            for worker in self.workers:
+                try:
+                    page_set = worker.storage.get_set(
+                        scan.database, scan.set_name
+                    )
+                except Exception:
+                    continue
+                for page_id in page_set.page_ids:
+                    page = worker.storage.pool.pin(page_id)
+                    total += page.block.used if page.block else 0
+                    worker.storage.pool.unpin(page_id)
+            return total
+        total_rows = 0
+        for worker in self.workers:
+            store = self.engine_for(worker).store.get(pipeline.source) or {}
+            for column in store.values():
+                total_rows += len(column)
+                break
+        return total_rows * 64
+
+    def _run_build(self, pipeline):
+        join = pipeline.sink
+        size = self._estimate_source_bytes(pipeline)
+        mode = (
+            "broadcast" if size <= self.broadcast_threshold else "partition"
+        )
+        self.join_modes[join.output] = mode
+        self.job_log.append(JobStage(
+            "BuildHashTableJobStage",
+            "%s join build for %s (est %d bytes)"
+            % (mode, join.output, size),
+        ))
+
+        if mode == "broadcast":
+            merged = {}
+            for worker in self.workers:
+                sink = HashBuildSink(self.engine_for(worker), join)
+                batches = self._source_batches(worker, pipeline)
+                self._run_stages_into_sink(
+                    worker, pipeline.stages, batches, sink
+                )
+                table = self.engine_for(worker).hash_tables[join.output]
+                rows = [row for bucket in table.values() for row in bucket]
+                self.cluster.network.ship_rows(
+                    worker.worker_id, "master", rows
+                )
+                for hash_value, bucket in table.items():
+                    merged.setdefault(hash_value, []).extend(bucket)
+            for worker in self.workers:
+                rows = [r for b in merged.values() for r in b]
+                self.cluster.network.ship_rows("master", worker.worker_id, rows)
+                self.engine_for(worker).hash_tables[join.output] = merged
+            return
+
+        # Partitioned: collect (hash, row) per worker, shuffle, build shards.
+        side = self.plan.build_sides[join.output]
+        hash_column = join.right_hash if side == "right" else join.left_hash
+        collected = []
+        for worker in self.workers:
+            batches = self._source_batches(worker, pipeline)
+            collected.append(
+                self._run_stages_collect(worker, pipeline.stages, batches)
+            )
+        shuffled = self._shuffle_columns(collected, hash_column)
+        columns_kept = (
+            join.right_columns if side == "right" else join.left_columns
+        )
+        for w_index, worker in enumerate(self.workers):
+            columns = shuffled[w_index]
+            table = {}
+            if columns:
+                cols = [columns[c] for c in columns_kept]
+                for row, hash_value in enumerate(columns[hash_column]):
+                    table.setdefault(hash_value, []).append(
+                        tuple(column[row] for column in cols)
+                    )
+            self.engine_for(worker).hash_tables[join.output] = table
+
+    def _run_aggregate(self, pipeline):
+        agg = pipeline.sink
+        comp = self.program.computations[agg.computation]
+        self.job_log.append(JobStage(
+            "PipelineJobStage",
+            "pre-aggregation for %s" % agg.output,
+        ))
+        # Producing stage: per-worker pre-aggregation (pipelining threads).
+        sinks = {}
+
+        def make_sink(worker):
+            sink = AggregateSink(self.engine_for(worker), agg)
+            sinks[worker.worker_id] = sink
+            return sink
+
+        self._run_distributed_pipeline(
+            pipeline, lambda worker: make_sink(worker)
+        )
+
+        # Shuffle combiner pages: hash-partition the pre-aggregated keys.
+        n = len(self.workers)
+        final_groups = [dict() for _ in range(n)]
+        for src_index, worker in enumerate(self.workers):
+            engine = self.engine_for(worker)
+            store = engine.store.pop(agg.output, None)
+            if store is None:
+                continue
+            partitions = [dict() for _ in range(n)]
+            for key, value in zip(store["key"], store["val"]):
+                partitions[stable_hash(key) % n][key] = value
+            for dst_index, partition in enumerate(partitions):
+                if not partition:
+                    continue
+                self._ship_aggregate_partition(
+                    comp, worker, self.workers[dst_index], partition,
+                    final_groups[dst_index],
+                )
+        self.job_log.append(JobStage(
+            "AggregationJobStage",
+            "shuffled merge for %s over %d partitions" % (agg.output, n),
+        ))
+        for w_index, worker in enumerate(self.workers):
+            groups = final_groups[w_index]
+            self.engine_for(worker).store[agg.output] = {
+                "key": list(groups.keys()),
+                "val": list(groups.values()),
+            }
+
+    def _ship_aggregate_partition(self, comp, src, dst, partition, into):
+        """Move one hash partition of pre-aggregated data src -> dst.
+
+        When the aggregation declares PC key/value descriptors, the
+        partition travels as a real PC Map on a combiner page: the bytes
+        are shipped verbatim, and the receiver reads the Map out of the
+        arrived page with no deserialization (Figure 5).
+        """
+        network = self.cluster.network
+        if comp.key_type is not None and comp.value_type is not None:
+            map_type = MapType(comp.key_type, comp.value_type)
+            pending = list(partition.items())
+            while pending:
+                block = AllocationBlock(
+                    self.cluster.combiner_page_size,
+                    registry=src.local_catalog.registry,
+                )
+                handle = make_object_on(block, map_type, None)
+                combiner = handle.deref()
+                shipped = 0
+                from repro.errors import BlockFullError
+
+                try:
+                    for key, value in pending:
+                        combiner.put(key, value)
+                        shipped += 1
+                except BlockFullError:
+                    if shipped == 0:
+                        raise
+                block.set_root(handle.offset, handle.type_code)
+                data = network.ship_page(
+                    src.worker_id, dst.worker_id, block.to_bytes()
+                )
+                arrived = AllocationBlock.from_bytes(
+                    data, registry=dst.local_catalog.registry
+                )
+                offset, _code = arrived.root()
+                arrived_map = map_type.facade(arrived, offset)
+                for key, value in arrived_map.items():
+                    key = comp.decode_key(key)
+                    value = comp.decode_value(value)
+                    if key in into:
+                        into[key] = comp.combine(into[key], value)
+                    else:
+                        into[key] = value
+                pending = pending[shipped:]
+        else:
+            rows = list(partition.items())
+            network.ship_rows(src.worker_id, dst.worker_id, rows)
+            for key, value in rows:
+                if key in into:
+                    into[key] = comp.combine(into[key], value)
+                else:
+                    into[key] = value
+
+    def _run_materialize(self, pipeline):
+        self.job_log.append(JobStage(
+            "PipelineJobStage", "materialize %s" % pipeline.sink,
+        ))
+        self._run_distributed_pipeline(
+            pipeline,
+            lambda worker: MaterializeSink(self.engine_for(worker),
+                                           pipeline.sink),
+        )
+
+    def _run_output(self, pipeline):
+        output = pipeline.sink
+        self.job_log.append(JobStage(
+            "PipelineJobStage",
+            "pipeline into %s.%s" % (output.database, output.set_name),
+        ))
+        self.cluster.ensure_set(output.database, output.set_name)
+        agg_comp = self._aggregate_behind(output)
+
+        def sink_factory(worker):
+            page_set = worker.storage.get_set(
+                output.database, output.set_name
+            )
+            if agg_comp is not None:
+                return MapPageOutputSink(
+                    self.engine_for(worker), output, page_set, agg_comp
+                )
+            return ClusterOutputSink(
+                self.engine_for(worker), output, page_set, self.cluster
+            )
+
+        self._run_distributed_pipeline(pipeline, sink_factory)
+
+    def _aggregate_behind(self, output_stmt):
+        """The AggregateComp whose pairs this OUTPUT writes, if any."""
+        for statement in self.program.statements:
+            if (
+                isinstance(statement, ApplyStmt)
+                and statement.new_column == output_stmt.column
+                and statement.info.get("type") == "pairUp"
+            ):
+                comp = self.program.computations.get(statement.computation)
+                if isinstance(comp, AggregateComp) and comp.key_type is not None:
+                    return comp
+        return None
+
+
+class _StagesView:
+    """Adapter giving scheduler stage lists the Pipeline interface."""
+
+    def __init__(self, stages):
+        self.stages = stages
+
+
+class ClusterOutputSink(Sink):
+    """Writes pipeline output to the worker-local partition of a set.
+
+    PC objects (handles / facades) are stored in place on set pages;
+    plain Python values fall back to a worker-local Python list that the
+    client gathers on :meth:`PCCluster.scan`.
+    """
+
+    def __init__(self, engine, output_stmt, page_set, cluster):
+        super().__init__(engine)
+        self.statement = output_stmt
+        self.page_set = page_set
+        self.cluster = cluster
+        self._writer = None
+
+    def _ensure_writer(self):
+        if self._writer is None:
+            self._writer = self.page_set.writer().__enter__()
+        return self._writer
+
+    def allocation_block(self):
+        return self._ensure_writer()._page.block
+
+    def roll_page(self):
+        writer = self._ensure_writer()
+        writer._seal_page()
+        writer._open_page()
+        self.engine.metrics.zombie_pages += 1
+
+    def consume(self, batch):
+        writer = self._ensure_writer()
+        key = (self.statement.database, self.statement.set_name)
+        for value in batch.column(self.statement.column):
+            if hasattr(value, "pc_block") or hasattr(value, "deref"):
+                writer._root.append(value)
+                self.page_set.object_count += 1
+            else:
+                self.cluster.python_outputs.setdefault(key, []).append(value)
+
+    def finish(self):
+        if self._writer is not None:
+            self._writer.__exit__(None, None, None)
+            self.engine.metrics.pages_written += len(self.page_set.page_ids)
+
+
+class MapPageOutputSink(Sink):
+    """Writes aggregation pairs as a PC Map object in the destination set.
+
+    This reproduces the paper's aggregation sink: the stored set holds
+    ``Map`` objects (one per worker partition), readable with zero
+    deserialization and expanded back into pairs on scan.
+    """
+
+    def __init__(self, engine, output_stmt, page_set, comp):
+        super().__init__(engine)
+        self.statement = output_stmt
+        self.page_set = page_set
+        self.map_type = MapType(comp.key_type, comp.value_type)
+        self.pairs = []
+
+    def consume(self, batch):
+        self.pairs.extend(batch.column(self.statement.column))
+
+    def finish(self):
+        if not self.pairs:
+            return
+        from repro.errors import BlockFullError, ExecutionError
+
+        pending = list(self.pairs)
+        shipped = 0
+        with self.page_set.writer() as writer:
+            while pending:
+                def build(block):
+                    nonlocal shipped
+                    shipped = 0
+                    handle = make_object_on(block, self.map_type, None)
+                    view = handle.deref()
+                    for key, value in pending:
+                        try:
+                            view.put(key, value)
+                        except BlockFullError:
+                            if shipped == 0:
+                                raise
+                            break
+                        shipped += 1
+                    return handle
+
+                writer.append_built(build)
+                if shipped == 0:
+                    raise ExecutionError(
+                        "one aggregation pair exceeds the page size"
+                    )
+                pending = pending[shipped:]
+        self.engine.metrics.pages_written += len(self.page_set.page_ids)

@@ -1,0 +1,76 @@
+"""Worker nodes: the front-end / back-end process pair (Section 2).
+
+Each worker runs two "processes".  The *front-end* is crash-proof
+infrastructure: the local catalog cache, the local storage server with
+its buffer pool, and the message proxy relaying requests.  The *back-end*
+is where potentially-unsafe user code runs; if a user stage raises, the
+front-end "re-forks" it — the back-end's transient state (pipeline
+engines, hash tables, materialized stores) is discarded and rebuilt,
+while the front-end's storage and catalog survive untouched.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import LocalCatalog
+from repro.errors import WorkerCrashError
+from repro.storage import LocalStorageServer
+
+
+class BackendProcess:
+    """The process that actually runs user code."""
+
+    def __init__(self, worker):
+        self.worker = worker
+        #: transient per-execution state, wiped on re-fork
+        self.engines = {}
+        self.crashed = False
+
+    def run_user_code(self, fn, *args, **kwargs):
+        """Execute ``fn``; a raise marks this backend as crashed."""
+        try:
+            return fn(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - user code can raise anything
+            self.crashed = True
+            raise WorkerCrashError(
+                "user code crashed on worker %r: %s"
+                % (self.worker.worker_id, exc)
+            ) from exc
+
+
+class WorkerNode:
+    """One simulated worker: front-end process + forked back-end."""
+
+    def __init__(self, worker_id, master_catalog, capacity_bytes,
+                 page_size, spill_dir=None):
+        self.worker_id = worker_id
+        # Front-end components (survive backend crashes).
+        self.local_catalog = LocalCatalog(master_catalog)
+        self.storage = LocalStorageServer(
+            worker_id, capacity_bytes, page_size=page_size,
+            registry=self.local_catalog.registry, spill_dir=spill_dir,
+        )
+        self.backend = BackendProcess(self)
+        self.refork_count = 0
+
+    # -- the message proxy --------------------------------------------------------
+
+    def dispatch(self, fn, *args, **kwargs):
+        """Forward a computation request to the back-end process.
+
+        On a crash the front-end re-forks the back-end (fresh transient
+        state) before re-raising, so the worker stays usable — the paper's
+        rationale for the dual-process design.
+        """
+        try:
+            return self.backend.run_user_code(fn, *args, **kwargs)
+        except WorkerCrashError:
+            self.refork_backend()
+            raise
+
+    def refork_backend(self):
+        """Replace a crashed back-end with a fresh one."""
+        self.backend = BackendProcess(self)
+        self.refork_count += 1
+
+    def __repr__(self):
+        return "<WorkerNode %s>" % self.worker_id

@@ -1,0 +1,41 @@
+"""The PC user-facing API: lambda calculus and Computation classes."""
+
+from repro.core.computation import (
+    AggregateComp,
+    Computation,
+    JoinComp,
+    MultiSelectionComp,
+    ObjectReader,
+    SelectionComp,
+    Writer,
+    computation_graph,
+)
+from repro.core.lambdas import (
+    Arg,
+    LambdaTerm,
+    as_lambda,
+    const_lambda,
+    lambda_from_member,
+    lambda_from_method,
+    lambda_from_native,
+    lambda_from_self,
+)
+
+__all__ = [
+    "AggregateComp",
+    "Arg",
+    "Computation",
+    "JoinComp",
+    "LambdaTerm",
+    "MultiSelectionComp",
+    "ObjectReader",
+    "SelectionComp",
+    "Writer",
+    "as_lambda",
+    "computation_graph",
+    "const_lambda",
+    "lambda_from_member",
+    "lambda_from_method",
+    "lambda_from_native",
+    "lambda_from_self",
+]

@@ -1,0 +1,244 @@
+"""Physical planning: breaking a TCAP DAG into pipelines (Appendix C).
+
+The single most important physical decision is how to cut the TCAP DAG
+into *pipelines*: maximal chains of operations that push vector lists
+through RAM without materializing.  A pipeline always ends in a *pipe
+sink*; only a few operations require one:
+
+* JOIN — the build side ends in a hash-table sink; the probe side runs
+  *through* the join as an ordinary stage;
+* AGGREGATE — the producing stage ends in an aggregation sink; consumers
+  start a new pipeline over the aggregated result;
+* OUTPUT — the terminal sink writing a stored set;
+* any vector list with more than one consumer is materialized (the
+  paper's rule for multi-consumer outputs).
+
+Choosing which join input builds and which probes yields the alternative
+pipelinings of Figure 3; :func:`plan_pipelines` accepts overrides so the
+figure bench can enumerate them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.tcap.ir import (
+    AggregateStmt,
+    ApplyStmt,
+    FilterStmt,
+    FlattenStmt,
+    HashStmt,
+    JoinStmt,
+    OutputStmt,
+    ScanStmt,
+)
+
+#: Sink kinds.
+SINK_OUTPUT = "output"
+SINK_HASH_BUILD = "hash_build"
+SINK_AGGREGATE = "aggregate"
+SINK_MATERIALIZE = "materialize"
+
+#: Source kinds.
+SOURCE_SCAN = "scan"
+SOURCE_VLIST = "vlist"
+
+
+class Pipeline:
+    """One executable pipeline: source -> stages -> sink."""
+
+    def __init__(self, pipeline_id, source_kind, source, stages, sink_kind,
+                 sink):
+        self.pipeline_id = pipeline_id
+        self.source_kind = source_kind
+        self.source = source  # ScanStmt or vlist name
+        self.stages = stages  # APPLY/FILTER/HASH/FLATTEN/JOIN(probe) stmts
+        self.sink_kind = sink_kind
+        self.sink = sink  # OutputStmt | JoinStmt | AggregateStmt | vlist name
+
+    def depends_on(self):
+        """Names of materialized vector lists / join builds required."""
+        needs = []
+        if self.source_kind == SOURCE_VLIST:
+            needs.append(("vlist", self.source))
+        for stage in self.stages:
+            if isinstance(stage, JoinStmt):
+                needs.append(("hash_table", stage.output))
+        return needs
+
+    def provides(self):
+        """What this pipeline makes available once it has run."""
+        if self.sink_kind == SINK_HASH_BUILD:
+            return ("hash_table", self.sink.output)
+        if self.sink_kind == SINK_AGGREGATE:
+            return ("vlist", self.sink.output)
+        if self.sink_kind == SINK_MATERIALIZE:
+            return ("vlist", self.sink)
+        return ("output", self.sink.set_name)
+
+    def describe(self):
+        """One-line description used by the Figure 3 bench."""
+        if self.source_kind == SOURCE_SCAN:
+            src = "scan %s.%s" % (self.source.database, self.source.set_name)
+        else:
+            src = "read %s" % self.source
+        ops = []
+        for stage in self.stages:
+            if isinstance(stage, JoinStmt):
+                ops.append("probe(%s)" % stage.output)
+            else:
+                ops.append(stage.op.lower())
+        sink = {
+            SINK_OUTPUT: lambda: "write %s.%s" % (self.sink.database,
+                                                  self.sink.set_name),
+            SINK_HASH_BUILD: lambda: "build(%s)" % self.sink.output,
+            SINK_AGGREGATE: lambda: "aggregate(%s)" % self.sink.output,
+            SINK_MATERIALIZE: lambda: "materialize(%s)" % self.sink,
+        }[self.sink_kind]()
+        return " -> ".join([src] + ops + [sink])
+
+    def __repr__(self):
+        return "<Pipeline %d: %s>" % (self.pipeline_id, self.describe())
+
+
+class PhysicalPlan:
+    """Ordered pipelines plus the join build-side decisions."""
+
+    def __init__(self, pipelines, build_sides):
+        self.pipelines = pipelines
+        self.build_sides = build_sides  # JoinStmt.output -> "left"/"right"
+
+    def __iter__(self):
+        return iter(self.pipelines)
+
+    def __len__(self):
+        return len(self.pipelines)
+
+    def describe(self):
+        return "\n".join(p.describe() for p in self.pipelines)
+
+
+def plan_pipelines(program, build_side_overrides=None):
+    """Cut ``program`` into an ordered :class:`PhysicalPlan`."""
+    overrides = dict(build_side_overrides or {})
+    consumers = {}
+    for statement in program.statements:
+        for name in statement.input_names():
+            consumers.setdefault(name, []).append(statement)
+
+    build_sides = {}
+    for statement in program.statements:
+        if isinstance(statement, JoinStmt):
+            build_sides[statement.output] = overrides.get(
+                statement.output, "right"
+            )
+
+    # Vector lists that force a pipeline cut when *consumed*.
+    materialized = set()
+    for statement in program.statements:
+        if isinstance(statement, OutputStmt):
+            continue
+        if isinstance(statement, AggregateStmt):
+            materialized.add(statement.output)
+        elif len(consumers.get(statement.output, [])) > 1:
+            materialized.add(statement.output)
+
+    pipelines = []
+    counter = iter(range(1_000_000))
+
+    def follow(source_kind, source, start_vlist, entry=None):
+        """Extend a pipeline from ``start_vlist`` until a sink.
+
+        ``entry`` forces the first consuming statement (used when a
+        materialized vector list fans out to several consumers, each of
+        which heads its own pipeline).
+        """
+        stages = []
+        current = start_vlist
+        while True:
+            if entry is not None:
+                statement, entry = entry, None
+            else:
+                consuming = consumers.get(current, [])
+                if not consuming:
+                    pipelines.append(Pipeline(
+                        next(counter), source_kind, source, stages,
+                        SINK_MATERIALIZE, current,
+                    ))
+                    return
+                if current in materialized or len(consuming) > 1:
+                    pipelines.append(Pipeline(
+                        next(counter), source_kind, source, stages,
+                        SINK_MATERIALIZE, current,
+                    ))
+                    return
+                statement = consuming[0]
+            if isinstance(statement, (ApplyStmt, FilterStmt, HashStmt,
+                                      FlattenStmt)):
+                stages.append(statement)
+                current = statement.output
+            elif isinstance(statement, JoinStmt):
+                side = build_sides[statement.output]
+                build_input = (
+                    statement.left_input if side == "left"
+                    else statement.right_input
+                )
+                if current == build_input:
+                    pipelines.append(Pipeline(
+                        next(counter), source_kind, source, stages,
+                        SINK_HASH_BUILD, statement,
+                    ))
+                    return
+                stages.append(statement)  # probe stage, pipeline continues
+                current = statement.output
+            elif isinstance(statement, AggregateStmt):
+                pipelines.append(Pipeline(
+                    next(counter), source_kind, source, stages,
+                    SINK_AGGREGATE, statement,
+                ))
+                return
+            elif isinstance(statement, OutputStmt):
+                pipelines.append(Pipeline(
+                    next(counter), source_kind, source, stages,
+                    SINK_OUTPUT, statement,
+                ))
+                return
+            else:
+                raise PlanningError(
+                    "cannot place statement %r" % type(statement).__name__
+                )
+
+    for statement in program.statements:
+        if isinstance(statement, ScanStmt):
+            follow(SOURCE_SCAN, statement, statement.output)
+    for name in sorted(materialized):
+        for consumer in consumers.get(name, []):
+            follow(SOURCE_VLIST, name, name, entry=consumer)
+
+    return PhysicalPlan(_topo_sort(pipelines), build_sides)
+
+
+def _topo_sort(pipelines):
+    """Order pipelines so every dependency runs before its consumer."""
+    providers = {}
+    for pipeline in pipelines:
+        providers[pipeline.provides()] = pipeline
+    ordered = []
+    state = {}  # pipeline_id -> "visiting" | "done"
+
+    def visit(pipeline):
+        mark = state.get(pipeline.pipeline_id)
+        if mark == "done":
+            return
+        if mark == "visiting":
+            raise PlanningError("cyclic pipeline dependencies")
+        state[pipeline.pipeline_id] = "visiting"
+        for need in pipeline.depends_on():
+            provider = providers.get(need)
+            if provider is not None:
+                visit(provider)
+        state[pipeline.pipeline_id] = "done"
+        ordered.append(pipeline)
+
+    for pipeline in pipelines:
+        visit(pipeline)
+    return ordered

@@ -1,0 +1,385 @@
+"""Pipelined, vectorized execution of physical plans (Appendix C).
+
+The :class:`PipelineEngine` executes the pipelines produced by
+:func:`repro.engine.physical.plan_pipelines` on one worker.  Vector-list
+batches are pushed through each pipeline's stages; sinks collect results:
+
+* hash-table sinks build the join tables probe pipelines consume;
+* aggregation sinks pre-aggregate into a per-pipeline hash map (the
+  paper's per-thread ``Map`` on an output page);
+* output sinks either collect Python values (local mode) or allocate PC
+  objects in place on output-set pages (cluster mode), rolling to a fresh
+  page on the out-of-memory fault and counting the resulting zombie pages.
+
+Batches are processed with the current output page installed as the
+active allocation block, so user code calling ``make_object`` inside a
+native lambda allocates directly on the output page — the paper's
+"data should be constructed where it is ultimately needed".
+"""
+
+from __future__ import annotations
+
+from repro.errors import BlockFullError, ExecutionError
+from repro.memory.builtins import MapFacade, stable_hash
+from repro.memory.handle import Handle
+from repro.memory.objects import use_allocation_block
+from repro.engine.physical import (
+    SINK_AGGREGATE,
+    SINK_HASH_BUILD,
+    SINK_MATERIALIZE,
+    SINK_OUTPUT,
+    SOURCE_SCAN,
+)
+from repro.engine.vectors import DEFAULT_BATCH_SIZE, VectorList, batches_of
+from repro.tcap.ir import (
+    ApplyStmt,
+    FilterStmt,
+    FlattenStmt,
+    HashStmt,
+    JoinStmt,
+)
+
+
+class EngineMetrics:
+    """Counters surfaced by tests and the Figure 4/5 benches."""
+
+    def __init__(self):
+        self.batches = 0
+        self.rows_in = 0
+        self.stage_invocations = 0
+        self.pages_written = 0
+        self.zombie_pages = 0
+        self.pre_aggregated_keys = 0
+        self.probe_matches = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class PipelineEngine:
+    """Executes a physical plan over one worker's data."""
+
+    def __init__(self, program, plan, scan_reader, batch_size=None,
+                 output_sink_factory=None, metrics=None):
+        """``scan_reader(scan_stmt)`` yields the objects of a stored set;
+        ``output_sink_factory(output_stmt)`` builds the sink for OUTPUT
+        statements (defaults to collecting Python lists).
+        """
+        self.program = program
+        self.plan = plan
+        self.scan_reader = scan_reader
+        self.batch_size = batch_size or DEFAULT_BATCH_SIZE
+        self.metrics = metrics or EngineMetrics()
+        self.hash_tables = {}  # join output vlist -> {hash: [row tuples]}
+        self.store = {}  # materialized vlist -> {column: list}
+        self.outputs = {}  # (db, set) -> list (when using the default sink)
+        self._sink_factory = output_sink_factory or self._default_sink
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self):
+        """Execute every pipeline in dependency order."""
+        for pipeline in self.plan:
+            self._run_pipeline(pipeline)
+        return self.outputs
+
+    # -- pipeline execution --------------------------------------------------------
+
+    def _run_pipeline(self, pipeline):
+        sink = self._make_sink(pipeline)
+        for batch in self._source_batches(pipeline):
+            self.metrics.batches += 1
+            self.metrics.rows_in += len(batch)
+            self._process_batch(pipeline, batch, sink)
+        sink.finish()
+
+    def _process_batch(self, pipeline, batch, sink):
+        """Push one batch through all stages into the sink.
+
+        Allocation faults from a page-backed sink roll the output page and
+        re-run the batch from the top; objects the failed attempt left on
+        the sealed page become dead space, and the sealed page — which may
+        hold output rows already — is the paper's zombie output page.
+        """
+        for attempt in range(3):
+            block = sink.allocation_block()
+            try:
+                if block is not None:
+                    with use_allocation_block(block):
+                        current = self._apply_stages(pipeline, batch)
+                        if current is not None:
+                            sink.consume(current)
+                else:
+                    current = self._apply_stages(pipeline, batch)
+                    if current is not None:
+                        sink.consume(current)
+                return
+            except BlockFullError:
+                if attempt == 2:
+                    raise
+                sink.roll_page()
+                self.metrics.zombie_pages += 1
+
+    def _apply_stages(self, pipeline, batch):
+        """Run all stages; returns None when a stage empties the batch."""
+        current = batch
+        for stage in pipeline.stages:
+            self.metrics.stage_invocations += 1
+            current = self._apply_stage(stage, current)
+            if len(current) == 0:
+                return None
+        return current
+
+    def _apply_stage(self, stage, batch):
+        if isinstance(stage, ApplyStmt):
+            fn = self.program.stage_fn(stage.computation, stage.stage)
+            inputs = [batch.column(c) for c in stage.apply_columns]
+            produced = fn(*inputs)
+            out = batch.shallow_copy(stage.copy_columns)
+            return out.with_column(stage.new_column, list(produced))
+        if isinstance(stage, FilterStmt):
+            mask = batch.column(stage.bool_column)
+            return VectorList({
+                name: [v for v, keep in zip(batch.column(name), mask) if keep]
+                for name in stage.copy_columns
+            })
+        if isinstance(stage, HashStmt):
+            keys = batch.column(stage.key_column)
+            out = batch.shallow_copy(stage.copy_columns)
+            return out.with_column(
+                stage.new_column, [stable_hash(k) for k in keys]
+            )
+        if isinstance(stage, FlattenStmt):
+            out = {c: [] for c in stage.output_columns()}
+            copies = [batch.column(c) for c in stage.copy_columns]
+            for row, seq in enumerate(batch.column(stage.seq_column)):
+                for item in seq:
+                    out[stage.new_column].append(item)
+                    for name, column in zip(stage.copy_columns, copies):
+                        out[name].append(column[row])
+            return VectorList(out)
+        if isinstance(stage, JoinStmt):
+            return self._probe(stage, batch)
+        raise ExecutionError("unknown stage %r" % type(stage).__name__)
+
+    def _probe(self, stage, batch):
+        table = self.hash_tables.get(stage.output)
+        if table is None:
+            raise ExecutionError(
+                "hash table for %s was not built" % stage.output
+            )
+        build_side = self.plan.build_sides.get(stage.output, "right")
+        if build_side == "right":
+            probe_columns, probe_hash = stage.left_columns, stage.left_hash
+            built_columns = stage.right_columns
+        else:
+            probe_columns, probe_hash = stage.right_columns, stage.right_hash
+            built_columns = stage.left_columns
+        out = {c: [] for c in stage.output_columns()}
+        probe_cols = [batch.column(c) for c in probe_columns]
+        for row, hash_value in enumerate(batch.column(probe_hash)):
+            for built_row in table.get(hash_value, ()):
+                self.metrics.probe_matches += 1
+                for name, column in zip(probe_columns, probe_cols):
+                    out[name].append(column[row])
+                for name, value in zip(built_columns, built_row):
+                    out[name].append(value)
+        return VectorList(out)
+
+    # -- sources ---------------------------------------------------------------------
+
+    def _source_batches(self, pipeline):
+        if pipeline.source_kind == SOURCE_SCAN:
+            scan = pipeline.source
+            objects = self.scan_reader(scan)
+            column = scan.column
+            chunk = []
+            for item in objects:
+                expanded = _expand_aggregate_object(item)
+                if expanded is None:
+                    chunk.append(item)
+                else:
+                    chunk.extend(expanded)
+                if len(chunk) >= self.batch_size:
+                    yield VectorList({column: chunk})
+                    chunk = []
+            if chunk:
+                yield VectorList({column: chunk})
+            return
+        columns = self.store.get(pipeline.source)
+        if columns is None:
+            raise ExecutionError(
+                "vector list %r was not materialized" % pipeline.source
+            )
+        yield from batches_of(columns, self.batch_size)
+
+    # -- sinks -----------------------------------------------------------------------
+
+    def _make_sink(self, pipeline):
+        if pipeline.sink_kind == SINK_HASH_BUILD:
+            return HashBuildSink(self, pipeline.sink)
+        if pipeline.sink_kind == SINK_AGGREGATE:
+            return AggregateSink(self, pipeline.sink)
+        if pipeline.sink_kind == SINK_MATERIALIZE:
+            return MaterializeSink(self, pipeline.sink)
+        if pipeline.sink_kind == SINK_OUTPUT:
+            return self._sink_factory(pipeline.sink)
+        raise ExecutionError("unknown sink kind %r" % pipeline.sink_kind)
+
+    def _default_sink(self, output_stmt):
+        return ListOutputSink(self, output_stmt)
+
+
+def _expand_aggregate_object(item):
+    """Expand a stored aggregation Map into its (key, value) pairs.
+
+    Aggregation results are stored as PC Map objects (Appendix D.2); a
+    downstream computation scanning such a set consumes the pairs.
+    Returns None when ``item`` is not an aggregation map.
+    """
+    if isinstance(item, MapFacade):
+        return list(item.items())
+    if isinstance(item, Handle) and not item.is_null:
+        view = item.deref()
+        if isinstance(view, MapFacade):
+            return list(view.items())
+    return None
+
+
+class Sink:
+    """Base pipe sink."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def allocation_block(self):
+        """The output page block stages should allocate onto, if any."""
+        return None
+
+    def roll_page(self):
+        raise BlockFullError(0, 0)  # sinks without pages cannot recover
+
+    def consume(self, batch):
+        raise NotImplementedError
+
+    def finish(self):
+        """Flush at end of pipeline."""
+
+
+class HashBuildSink(Sink):
+    """Builds the hash table for a join's build side."""
+
+    def __init__(self, engine, join_stmt):
+        super().__init__(engine)
+        self.join = join_stmt
+        side = engine.plan.build_sides[join_stmt.output]
+        if side == "right":
+            self.hash_column = join_stmt.right_hash
+            self.columns = join_stmt.right_columns
+        else:
+            self.hash_column = join_stmt.left_hash
+            self.columns = join_stmt.left_columns
+        self.table = {}
+
+    def consume(self, batch):
+        cols = [batch.column(c) for c in self.columns]
+        for row, hash_value in enumerate(batch.column(self.hash_column)):
+            self.table.setdefault(hash_value, []).append(
+                tuple(column[row] for column in cols)
+            )
+
+    def finish(self):
+        self.engine.hash_tables[self.join.output] = self.table
+
+
+class AggregateSink(Sink):
+    """Pre-aggregates (key, value) pairs — the paper's producing stage."""
+
+    def __init__(self, engine, agg_stmt):
+        super().__init__(engine)
+        self.statement = agg_stmt
+        self.comp = engine.program.computations[agg_stmt.computation]
+        self.groups = {}
+
+    def consume(self, batch):
+        keys = batch.column(self.statement.key_column)
+        values = batch.column(self.statement.value_column)
+        combine = self.comp.combine
+        groups = self.groups
+        for key, value in zip(keys, values):
+            if key in groups:
+                groups[key] = combine(groups[key], value)
+            else:
+                groups[key] = value
+
+    def finish(self):
+        self.engine.metrics.pre_aggregated_keys += len(self.groups)
+        self.engine.store[self.statement.output] = {
+            "key": list(self.groups.keys()),
+            "val": list(self.groups.values()),
+        }
+
+
+class MaterializeSink(Sink):
+    """Materializes a multi-consumer vector list."""
+
+    def __init__(self, engine, vlist_name):
+        super().__init__(engine)
+        self.vlist_name = vlist_name
+        self.columns = None
+
+    def consume(self, batch):
+        if self.columns is None:
+            self.columns = {name: [] for name in batch.names()}
+        for name in self.columns:
+            self.columns[name].extend(batch.column(name))
+
+    def finish(self):
+        self.engine.store[self.vlist_name] = self.columns or {}
+
+
+class ListOutputSink(Sink):
+    """Local-mode output: collect Python values."""
+
+    def __init__(self, engine, output_stmt):
+        super().__init__(engine)
+        self.statement = output_stmt
+
+    def consume(self, batch):
+        key = (self.statement.database, self.statement.set_name)
+        self.engine.outputs.setdefault(key, []).extend(
+            batch.column(self.statement.column)
+        )
+
+
+class PageOutputSink(Sink):
+    """Cluster-mode output: allocate objects in place on set pages."""
+
+    def __init__(self, engine, output_stmt, page_set):
+        super().__init__(engine)
+        self.statement = output_stmt
+        self.page_set = page_set
+        self.writer = page_set.writer().__enter__()
+
+    def allocation_block(self):
+        return self.writer._page.block
+
+    def roll_page(self):
+        self.writer._seal_page()
+        self.writer._open_page()
+        self.engine.metrics.pages_written += 1
+
+    def consume(self, batch):
+        root = self.writer._root
+        for value in batch.column(self.statement.column):
+            # Values produced by user projections are handles or facades
+            # already living on the output page (in-place allocation) —
+            # appending to the root vector is then pure bookkeeping.  A
+            # value still living elsewhere is deep-copied in by the
+            # vector's cross-block assignment rule.
+            root.append(value)
+            self.page_set.object_count += 1
+
+    def finish(self):
+        self.writer.__exit__(None, None, None)
+        self.engine.metrics.pages_written += len(self.page_set.page_ids)

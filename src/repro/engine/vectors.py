@@ -1,0 +1,79 @@
+"""Vector lists: the unit of data flowing through TCAP pipelines.
+
+A :class:`VectorList` is an ordered bundle of equal-length named columns
+(Section 5.2).  Pipelines push *batches* — small vector lists whose row
+count is tuned so a batch's working set stays cache-resident; the default
+matches the paper's guidance of sizing vectors to the L1/L2 cache rather
+than processing one row (Volcano) or one full column (materialization) at
+a time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+
+#: Default rows per batch; the ablation bench sweeps this.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class VectorList:
+    """Named, equal-length columns."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns=None):
+        self.columns = dict(columns or {})
+        lengths = {len(col) for col in self.columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(
+                "ragged vector list: column lengths %s" % sorted(lengths)
+            )
+
+    def __len__(self):
+        for column in self.columns.values():
+            return len(column)
+        return 0
+
+    def __contains__(self, name):
+        return name in self.columns
+
+    def column(self, name):
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(
+                "vector list has no column %r (has %s)"
+                % (name, sorted(self.columns))
+            )
+
+    def shallow_copy(self, names):
+        """A new vector list sharing the selected column objects.
+
+        This is TCAP's shallow column copy: no per-row work at all.
+        """
+        return VectorList({name: self.column(name) for name in names})
+
+    def with_column(self, name, values):
+        """This vector list plus one appended column (shared others)."""
+        out = dict(self.columns)
+        out[name] = values
+        return VectorList(out)
+
+    def names(self):
+        return list(self.columns)
+
+    def __repr__(self):
+        return "VectorList(%s x %d rows)" % (sorted(self.columns), len(self))
+
+
+def batches_of(column_dict, batch_size=DEFAULT_BATCH_SIZE):
+    """Slice aligned columns into VectorList batches."""
+    names = list(column_dict)
+    if not names:
+        return
+    total = len(column_dict[names[0]])
+    for start in range(0, total, batch_size):
+        yield VectorList({
+            name: column_dict[name][start:start + batch_size]
+            for name in names
+        })

@@ -1,0 +1,145 @@
+"""Exception hierarchy for the PlinyCompute reproduction.
+
+Every error raised by the library derives from :class:`PCError`, so callers
+can catch one base class at an API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+
+class PCError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ObjectModelError(PCError):
+    """Base class for errors raised by the PC object model."""
+
+
+class BlockFullError(ObjectModelError):
+    """An allocation did not fit in the active allocation block.
+
+    This mirrors the out-of-memory fault the paper describes in Section 6.1:
+    the execution engine catches it, retires the full page, and retries the
+    allocation on a fresh page.
+    """
+
+    def __init__(self, requested, available):
+        super().__init__(
+            "allocation of %d bytes does not fit (only %d bytes free)"
+            % (requested, available)
+        )
+        self.requested = requested
+        self.available = available
+
+
+class NoActiveBlockError(ObjectModelError):
+    """``make_object`` was called with no active allocation block."""
+
+
+class NullHandleError(ObjectModelError):
+    """A null Handle was dereferenced."""
+
+
+class DanglingHandleError(ObjectModelError):
+    """A Handle referenced an object that was already deallocated."""
+
+
+class UnknownTypeCodeError(ObjectModelError):
+    """A type code had no registered class in the local registry.
+
+    In a cluster this triggers the catalog's simulated ``.so`` fetch
+    (Section 6.3); if the catalog does not know the type either, the error
+    propagates to the caller.
+    """
+
+    def __init__(self, type_code):
+        super().__init__("unknown type code %d" % type_code)
+        self.type_code = type_code
+
+
+class TypeRegistrationError(ObjectModelError):
+    """A type could not be registered (duplicate name, bad field spec...)."""
+
+
+class CrossBlockWriteError(ObjectModelError):
+    """An illegal mutation on a block that does not permit it."""
+
+
+class CatalogError(PCError):
+    """Base class for catalog-manager errors."""
+
+
+class StorageError(PCError):
+    """Base class for storage subsystem errors."""
+
+
+class BufferPoolExhaustedError(StorageError):
+    """The buffer pool could not evict enough pages to satisfy a request."""
+
+
+class DatabaseNotFoundError(StorageError):
+    """A database name did not exist in the distributed storage manager."""
+
+
+class SetNotFoundError(StorageError):
+    """A set name did not exist in the given database."""
+
+
+class LambdaError(PCError):
+    """Base class for errors in the lambda-calculus layer."""
+
+
+class TcapError(PCError):
+    """Base class for TCAP compilation / parsing / optimization errors."""
+
+
+class TcapParseError(TcapError):
+    """The textual TCAP program could not be parsed."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class PlanningError(PCError):
+    """The physical planner could not produce a valid pipeline plan."""
+
+
+class ExecutionError(PCError):
+    """A pipeline stage failed while processing a vector list."""
+
+
+class ClusterError(PCError):
+    """Base class for distributed-runtime errors."""
+
+
+class WorkerCrashError(ClusterError):
+    """The simulated worker back-end process crashed while running user code.
+
+    The front-end process catches this and re-forks the back end, mirroring
+    the dual-process design of Section 2.
+    """
+
+
+class LinAlgError(PCError):
+    """Base class for lilLinAlg errors (dimension mismatch, parse errors...)."""
+
+
+class DslParseError(LinAlgError):
+    """The lilLinAlg DSL source could not be parsed."""
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = "line %d" % line
+            if column is not None:
+                location += ", column %d" % column
+            message = "%s: %s" % (location, message)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class BaselineError(PCError):
+    """Base class for errors in the Spark-like baseline engine."""

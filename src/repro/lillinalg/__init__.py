@@ -1,0 +1,25 @@
+"""lilLinAlg: the distributed linear-algebra tool of Section 8.3."""
+
+from repro.lillinalg.dsl import LilLinAlg, Parser, as_numpy, tokenize
+from repro.lillinalg.matrix import (
+    MatrixBlock,
+    block_grid,
+    decode_block_key,
+    encode_block_key,
+    make_matrix_block,
+)
+from repro.lillinalg.ops import BlockSumAggregate, DistributedMatrix
+
+__all__ = [
+    "BlockSumAggregate",
+    "DistributedMatrix",
+    "LilLinAlg",
+    "MatrixBlock",
+    "Parser",
+    "as_numpy",
+    "block_grid",
+    "decode_block_key",
+    "encode_block_key",
+    "make_matrix_block",
+    "tokenize",
+]

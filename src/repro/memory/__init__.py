@@ -1,0 +1,102 @@
+"""The PC object model (Sections 3, 6 and Appendix B of the paper).
+
+Public surface::
+
+    from repro.memory import (
+        make_allocation_block, use_allocation_block, make_object,
+        PCObject, Handle, Int32, Int64, Float64, Bool, String,
+        VectorType, MapType,
+    )
+
+    block = make_allocation_block(1024 * 1024)
+
+    class DataPoint(PCObject):
+        fields = [("dims", Int32), ("data", VectorType(Float64))]
+
+    point = make_object(DataPoint, dims=3, data=[1.0, 2.0, 3.0])
+    raw = block.to_bytes()          # zero-cost movement: just the bytes
+"""
+
+from repro.memory.block import (
+    FULL_REF_COUNT,
+    LIGHTWEIGHT_REUSE,
+    NO_REF_COUNT,
+    NO_REUSE,
+    RECYCLING,
+    UNIQUE_OWNERSHIP,
+    AllocationBlock,
+)
+from repro.memory.builtins import (
+    ArrayType,
+    MapFacade,
+    MapType,
+    String,
+    VectorFacade,
+    VectorType,
+    stable_hash,
+)
+from repro.memory.handle import Handle
+from repro.memory.layout import BLOCK_HEADER_SIZE, OBJECT_HEADER_SIZE
+from repro.memory.objects import (
+    PCObject,
+    current_allocation_block,
+    deep_copy_object,
+    make_allocation_block,
+    make_object,
+    make_object_on,
+    pop_allocation_block,
+    release_reference,
+    use_allocation_block,
+)
+from repro.memory.typecodes import TypeRegistry, default_registry
+from repro.memory.types import (
+    Bool,
+    Float32,
+    Float64,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    UInt32,
+    UInt64,
+)
+
+__all__ = [
+    "AllocationBlock",
+    "ArrayType",
+    "BLOCK_HEADER_SIZE",
+    "Bool",
+    "FULL_REF_COUNT",
+    "Float32",
+    "Float64",
+    "Handle",
+    "Int16",
+    "Int32",
+    "Int64",
+    "Int8",
+    "LIGHTWEIGHT_REUSE",
+    "MapFacade",
+    "MapType",
+    "NO_REF_COUNT",
+    "NO_REUSE",
+    "OBJECT_HEADER_SIZE",
+    "PCObject",
+    "RECYCLING",
+    "String",
+    "TypeRegistry",
+    "UInt32",
+    "UInt64",
+    "UNIQUE_OWNERSHIP",
+    "VectorFacade",
+    "VectorType",
+    "current_allocation_block",
+    "deep_copy_object",
+    "default_registry",
+    "make_allocation_block",
+    "make_object",
+    "make_object_on",
+    "pop_allocation_block",
+    "release_reference",
+    "stable_hash",
+    "use_allocation_block",
+]

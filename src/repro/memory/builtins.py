@@ -1,0 +1,882 @@
+"""Built-in PC object types: String, Array, Vector, and Map.
+
+These are the generic container types of Section 6.1.  Every instantiation
+(``VectorType(Float64)``, ``MapType(String, Int32)``, ...) is registered as
+its own type code, mirroring C++ template instantiation: the element
+accessors of each instantiation are specialized closures with no per-object
+dispatch.
+
+Layouts (all little-endian, offsets relative to the object's payload):
+
+* ``String``  — ``uint32 length`` + UTF-8 bytes.  Strings deliberately do
+  *not* cache their hash value (Section 8.4.3 calls this out as a PC design
+  choice that keeps them small at some CPU cost).
+* ``Array<T>`` — ``capacity`` tightly packed element slots; the capacity is
+  implied by the payload size.  Arrays back vectors and map buckets and are
+  never recycled (they are the paper's variable-length internal type).
+* ``Vector<T>`` — ``uint64 count`` + handle to a backing ``Array<T>``.
+* ``Map<K,V>`` — ``uint64 count`` + handle to a bucket ``Array``; open
+  addressing with linear probing over
+  ``(occupied:u8, pad:7, hash:u64, K slot, V slot)`` entries.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ObjectModelError
+from repro.memory import layout
+from repro.memory.handle import Handle
+from repro.memory.layout import OBJECT_HEADER_SIZE, align8
+from repro.memory.objects import (
+    ObjectTypeDescriptor,
+    as_descriptor,
+    deep_copy_object,
+    release_reference,
+)
+from repro.memory.types import numpy_dtype_for, registry_of
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_HASH_MASK = (1 << 64) - 1
+
+
+def stable_hash(value):
+    """A deterministic 64-bit hash usable across processes and runs.
+
+    Python's built-in ``hash`` for strings is randomized per process; PC
+    hashes must stay valid when a page full of hashed entries is shipped to
+    another (simulated) process, so strings use FNV-1a instead.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value) & _HASH_MASK
+    if isinstance(value, (float, np.floating)):
+        return hash(float(value)) & _HASH_MASK
+    if isinstance(value, str):
+        h = _FNV_OFFSET
+        for byte in value.encode("utf-8"):
+            h ^= byte
+            h = (h * _FNV_PRIME) & _HASH_MASK
+        return h
+    if isinstance(value, tuple):
+        h = _FNV_OFFSET
+        for item in value:
+            h ^= stable_hash(item)
+            h = (h * _FNV_PRIME) & _HASH_MASK
+        return h
+    raise ObjectModelError("unhashable PC map key: %r" % (value,))
+
+
+# ---------------------------------------------------------------------------
+# String
+# ---------------------------------------------------------------------------
+
+class StringType(ObjectTypeDescriptor):
+    """UTF-8 string object.  Slots decode straight to Python ``str``."""
+
+    name = "string"
+
+    #: Fixed well-known code so string bytes mean the same thing in every
+    #: registry, with no registration handshake (built-ins ship with PC).
+    FIXED_CODE = 1
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self, code=self.FIXED_CODE)
+        return code
+
+    def facade(self, block, offset):
+        payload = offset + OBJECT_HEADER_SIZE
+        length = _U32.unpack_from(block.buf, payload)[0]
+        start = payload + 4
+        return bytes(block.buf[start:start + length]).decode("utf-8")
+
+    def _slot_value(self, block, target_offset, type_code):
+        return self.facade(block, target_offset)
+
+    def allocate_value(self, block, value):
+        if not isinstance(value, str):
+            raise ObjectModelError("expected str, got %r" % (value,))
+        encoded = value.encode("utf-8")
+        offset = block.allocate(4 + len(encoded), self.type_code(block))
+        payload = offset + OBJECT_HEADER_SIZE
+        _U32.pack_into(block.buf, payload, len(encoded))
+        block.buf[payload + 4:payload + 4 + len(encoded)] = encoded
+        return offset
+
+
+String = StringType()
+
+
+# ---------------------------------------------------------------------------
+# Array<T>
+# ---------------------------------------------------------------------------
+
+class ArrayType(ObjectTypeDescriptor):
+    """Raw element storage backing vectors and map buckets."""
+
+    def __init__(self, elem):
+        self.elem = as_descriptor(elem)
+        self.name = "array<%s>" % self.elem.name
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self)
+        return code
+
+    def facade(self, block, offset):
+        return ArrayFacade(block, offset, self)
+
+    def dependents(self):
+        return [self.elem]
+
+    def allocate_value(self, block, capacity):
+        payload = capacity * self.elem.slot_size
+        return block.allocate(payload, self.type_code(block))
+
+    def capacity_of(self, block, offset):
+        """Number of element slots, derived from the payload size."""
+        payload_size = layout.read_object_header(block.buf, offset)[2]
+        return payload_size // self.elem.slot_size
+
+    def destroy_payload(self, block, payload_offset, payload_size):
+        if not self.elem.is_object_type:
+            return
+        slot = payload_offset
+        end = payload_offset + payload_size
+        while slot < end:
+            target, _code = layout.read_handle_slot(block.buf, slot)
+            if target is not None:
+                release_reference(block, target)
+            slot += self.elem.slot_size
+        # Null every slot so a recycled/zombie array cannot double-release.
+        block.buf[payload_offset:end] = bytes(payload_size)
+
+    def rewrite_handles(self, src_block, src_payload, dst_block, dst_payload,
+                        payload_size, memo):
+        if not self.elem.is_object_type:
+            return
+        step = self.elem.slot_size
+        for delta in range(0, payload_size - payload_size % step, step):
+            target, _code = layout.read_handle_slot(
+                src_block.buf, src_payload + delta
+            )
+            if target is None:
+                layout.write_handle_slot(
+                    dst_block.buf, dst_payload + delta, None, 0
+                )
+                continue
+            copied = deep_copy_object(src_block, target, dst_block, memo)
+            code = layout.read_object_header(dst_block.buf, copied)[1]
+            dst_block.retain(copied)
+            layout.write_handle_slot(
+                dst_block.buf, dst_payload + delta, copied, code
+            )
+
+
+class ArrayFacade:
+    """Typed element view over an Array<T> object (internal helper)."""
+
+    __slots__ = ("pc_block", "pc_offset", "descriptor")
+
+    def __init__(self, block, offset, descriptor):
+        self.pc_block = block
+        self.pc_offset = offset
+        self.descriptor = descriptor
+
+    def _slot(self, index):
+        return (
+            self.pc_offset
+            + OBJECT_HEADER_SIZE
+            + index * self.descriptor.elem.slot_size
+        )
+
+    def __len__(self):
+        return self.descriptor.capacity_of(self.pc_block, self.pc_offset)
+
+    def __getitem__(self, index):
+        return self.descriptor.elem.read_slot(self.pc_block, self._slot(index))
+
+    def __setitem__(self, index, value):
+        self.descriptor.elem.write_slot(self.pc_block, self._slot(index), value)
+
+
+# ---------------------------------------------------------------------------
+# Vector<T>
+# ---------------------------------------------------------------------------
+
+_VECTOR_COUNT = 0  # payload offset of the count field
+_VECTOR_ARRAY = 8  # payload offset of the backing-array handle slot
+
+
+class VectorType(ObjectTypeDescriptor):
+    """Growable sequence of ``T`` stored entirely on one block."""
+
+    def __init__(self, elem):
+        self.elem = as_descriptor(elem)
+        self.name = "vector<%s>" % self.elem.name
+        self.array_type = ArrayType(self.elem)
+        self.fixed_payload = align8(_VECTOR_ARRAY + layout.HANDLE_SLOT_SIZE)
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self)
+        return code
+
+    def facade(self, block, offset):
+        return VectorFacade(block, offset, self)
+
+    def dependents(self):
+        return [self.elem, self.array_type]
+
+    def _slot_value(self, block, target_offset, type_code):
+        return self.facade(block, target_offset)
+
+    def allocate_value(self, block, value):
+        offset = block.allocate(self.fixed_payload, self.type_code(block))
+        if value is not None:
+            view = self.facade(block, offset)
+            view.extend(value)
+        return offset
+
+    def destroy_payload(self, block, payload_offset, payload_size):
+        slot = payload_offset + _VECTOR_ARRAY
+        target, _code = layout.read_handle_slot(block.buf, slot)
+        if target is not None:
+            release_reference(block, target)
+            layout.write_handle_slot(block.buf, slot, None, 0)
+
+    def rewrite_handles(self, src_block, src_payload, dst_block, dst_payload,
+                        payload_size, memo):
+        src_slot = src_payload + _VECTOR_ARRAY
+        dst_slot = dst_payload + _VECTOR_ARRAY
+        target, _code = layout.read_handle_slot(src_block.buf, src_slot)
+        if target is None:
+            layout.write_handle_slot(dst_block.buf, dst_slot, None, 0)
+            return
+        copied = deep_copy_object(src_block, target, dst_block, memo)
+        code = layout.read_object_header(dst_block.buf, copied)[1]
+        dst_block.retain(copied)
+        layout.write_handle_slot(dst_block.buf, dst_slot, copied, code)
+
+
+class VectorFacade:
+    """List-like view over a Vector<T> living on a block."""
+
+    __slots__ = ("pc_block", "pc_offset", "descriptor")
+
+    def __init__(self, block, offset, descriptor):
+        self.pc_block = block
+        self.pc_offset = offset
+        self.descriptor = descriptor
+
+    # -- internals -------------------------------------------------------------
+
+    @property
+    def _payload(self):
+        return self.pc_offset + OBJECT_HEADER_SIZE
+
+    def _array_offset(self):
+        target, _code = layout.read_handle_slot(
+            self.pc_block.buf, self._payload + _VECTOR_ARRAY
+        )
+        return target
+
+    def _capacity(self):
+        array_offset = self._array_offset()
+        if array_offset is None:
+            return 0
+        return self.descriptor.array_type.capacity_of(
+            self.pc_block, array_offset
+        )
+
+    def _element_slot(self, array_offset, index):
+        return (
+            array_offset
+            + OBJECT_HEADER_SIZE
+            + index * self.descriptor.elem.slot_size
+        )
+
+    def _grow(self, minimum):
+        block = self.pc_block
+        old_offset = self._array_offset()
+        old_capacity = self._capacity()
+        new_capacity = max(4, old_capacity * 2, minimum)
+        array_type = self.descriptor.array_type
+        new_offset = array_type.allocate_value(block, new_capacity)
+        count = len(self)
+        elem = self.descriptor.elem
+        if old_offset is not None and count:
+            if elem.is_object_type:
+                # Transfer handle slots by re-encoding; the targets stay
+                # put, so no refcount traffic is needed.
+                for index in range(count):
+                    src = self._element_slot(old_offset, index)
+                    dst = self._element_slot(new_offset, index)
+                    target, _code = layout.read_handle_slot(block.buf, src)
+                    if target is None:
+                        continue
+                    code = layout.read_object_header(block.buf, target)[1]
+                    layout.write_handle_slot(block.buf, dst, target, code)
+                    layout.write_handle_slot(block.buf, src, None, 0)
+            else:
+                src = old_offset + OBJECT_HEADER_SIZE
+                dst = new_offset + OBJECT_HEADER_SIZE
+                nbytes = count * elem.slot_size
+                block.buf[dst:dst + nbytes] = block.buf[src:src + nbytes]
+        slot = self._payload + _VECTOR_ARRAY
+        code = layout.read_object_header(block.buf, new_offset)[1]
+        block.retain(new_offset)
+        layout.write_handle_slot(block.buf, slot, new_offset, code)
+        if old_offset is not None:
+            # Old slots were nulled above, so destroying the old array will
+            # not release the transferred targets.
+            release_reference(block, old_offset)
+
+    # -- sequence protocol -------------------------------------------------------
+
+    def __len__(self):
+        return _U64.unpack_from(self.pc_block.buf, self._payload + _VECTOR_COUNT)[0]
+
+    def _set_count(self, count):
+        _U64.pack_into(self.pc_block.buf, self._payload + _VECTOR_COUNT, count)
+
+    def _check_index(self, index):
+        count = len(self)
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError("vector index %d out of range (%d)" % (index, count))
+        return index
+
+    def __getitem__(self, index):
+        index = self._check_index(index)
+        slot = self._element_slot(self._array_offset(), index)
+        return self.descriptor.elem.read_slot(self.pc_block, slot)
+
+    def __setitem__(self, index, value):
+        index = self._check_index(index)
+        slot = self._element_slot(self._array_offset(), index)
+        self.descriptor.elem.write_slot(self.pc_block, slot, value)
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def reserve(self, capacity):
+        """Ensure room for ``capacity`` elements without reallocation.
+
+        Writers reserve their root vector's slots *before* filling a page
+        with objects, so recording an object never needs an allocation on
+        an already-full page.
+        """
+        if self._capacity() < capacity:
+            self._grow(capacity)
+
+    def append(self, value):
+        """Append ``value``, growing the backing array if needed."""
+        count = len(self)
+        if count >= self._capacity():
+            self._grow(count + 1)
+        slot = self._element_slot(self._array_offset(), count)
+        self.descriptor.elem.write_slot(self.pc_block, slot, value)
+        self._set_count(count + 1)
+
+    def extend(self, values):
+        """Append every item of ``values``.
+
+        Numeric numpy input takes a bulk path: the array's bytes are
+        blitted straight into the page (the write-side counterpart of
+        :meth:`as_numpy`), so filling a MatrixBlock never loops in Python.
+        """
+        elem = self.descriptor.elem
+        dtype = numpy_dtype_for(elem)
+        if dtype is not None and isinstance(values, np.ndarray):
+            flat = np.ascontiguousarray(values, dtype=dtype).reshape(-1)
+            count = len(self)
+            if count + flat.size > self._capacity():
+                self._grow(count + flat.size)
+            array_offset = self._array_offset()
+            start = (
+                array_offset + OBJECT_HEADER_SIZE + count * elem.slot_size
+            )
+            nbytes = flat.size * elem.slot_size
+            self.pc_block.buf[start:start + nbytes] = flat.tobytes()
+            self._set_count(count + flat.size)
+            return
+        values = list(values)
+        count = len(self)
+        if count + len(values) > self._capacity():
+            self._grow(count + len(values))
+        array_offset = self._array_offset()
+        for index, value in enumerate(values, start=count):
+            elem.write_slot(
+                self.pc_block, self._element_slot(array_offset, index), value
+            )
+        self._set_count(count + len(values))
+
+    def to_list(self):
+        """Decode the whole vector into a Python list."""
+        return list(self)
+
+    def as_numpy(self):
+        """A zero-copy numpy view over the element bytes.
+
+        This is the reproduction of ``Eigen::Map`` over raw page memory
+        (Section 8.3.1): the returned array aliases the block's bytes, so
+        writes through it mutate the page with no copying.
+        """
+        dtype = numpy_dtype_for(self.descriptor.elem)
+        if dtype is None:
+            raise ObjectModelError(
+                "as_numpy requires a numeric element type, not %s"
+                % self.descriptor.elem.name
+            )
+        count = len(self)
+        array_offset = self._array_offset()
+        if array_offset is None or count == 0:
+            return np.empty(0, dtype=dtype)
+        start = array_offset + OBJECT_HEADER_SIZE
+        nbytes = count * self.descriptor.elem.slot_size
+        view = memoryview(self.pc_block.buf)[start:start + nbytes]
+        return np.frombuffer(view, dtype=dtype)
+
+    def __repr__(self):
+        preview = ", ".join(repr(v) for v in list(self)[:6])
+        if len(self) > 6:
+            preview += ", ..."
+        return "Vector<%s>[%s]" % (self.descriptor.elem.name, preview)
+
+
+# ---------------------------------------------------------------------------
+# Map<K, V>
+# ---------------------------------------------------------------------------
+
+_MAP_COUNT = 0
+_MAP_BUCKETS = 8
+_ENTRY_FLAGS = struct.Struct("<BxxxxxxxQ")  # occupied flag + stored hash
+
+
+class MapBucketsType(ObjectTypeDescriptor):
+    """The bucket array backing a Map instantiation (internal)."""
+
+    def __init__(self, key, val):
+        self.key = as_descriptor(key)
+        self.val = as_descriptor(val)
+        self.name = "mapbuckets<%s,%s>" % (self.key.name, self.val.name)
+        self.entry_size = align8(16 + self.key.slot_size + self.val.slot_size)
+        self.key_offset = 16
+        self.val_offset = 16 + self.key.slot_size
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self)
+        return code
+
+    def facade(self, block, offset):
+        return Handle(block, offset, self.type_code(block))
+
+    def dependents(self):
+        return [self.key, self.val]
+
+    def allocate_value(self, block, nbuckets):
+        return block.allocate(
+            nbuckets * self.entry_size, self.type_code(block)
+        )
+
+    def capacity_of(self, block, offset):
+        payload_size = layout.read_object_header(block.buf, offset)[2]
+        return payload_size // self.entry_size
+
+    def _each_occupied(self, block, payload_offset, payload_size):
+        entry = payload_offset
+        end = payload_offset + payload_size - payload_size % self.entry_size
+        while entry < end:
+            occupied, stored_hash = _ENTRY_FLAGS.unpack_from(block.buf, entry)
+            if occupied:
+                yield entry, stored_hash
+            entry += self.entry_size
+
+    def destroy_payload(self, block, payload_offset, payload_size):
+        for entry, _h in self._each_occupied(block, payload_offset, payload_size):
+            for descriptor, delta in (
+                (self.key, self.key_offset),
+                (self.val, self.val_offset),
+            ):
+                if descriptor.is_object_type:
+                    target, _code = layout.read_handle_slot(
+                        block.buf, entry + delta
+                    )
+                    if target is not None:
+                        release_reference(block, target)
+        block.buf[payload_offset:payload_offset + payload_size] = bytes(
+            payload_size
+        )
+
+    def rewrite_handles(self, src_block, src_payload, dst_block, dst_payload,
+                        payload_size, memo):
+        for entry, _h in self._each_occupied(src_block, src_payload, payload_size):
+            delta_from_start = entry - src_payload
+            for descriptor, delta in (
+                (self.key, self.key_offset),
+                (self.val, self.val_offset),
+            ):
+                if not descriptor.is_object_type:
+                    continue
+                target, _code = layout.read_handle_slot(
+                    src_block.buf, entry + delta
+                )
+                dst_slot = dst_payload + delta_from_start + delta
+                if target is None:
+                    layout.write_handle_slot(dst_block.buf, dst_slot, None, 0)
+                    continue
+                copied = deep_copy_object(src_block, target, dst_block, memo)
+                code = layout.read_object_header(dst_block.buf, copied)[1]
+                dst_block.retain(copied)
+                layout.write_handle_slot(dst_block.buf, dst_slot, copied, code)
+
+
+class MapType(ObjectTypeDescriptor):
+    """Open-addressing hash map stored entirely on one block.
+
+    PC implements aggregation with exactly this structure: per-thread Maps
+    are built on output pages, shipped whole (zero serialization), and
+    merged at the receiver (Section 3, Appendix D.2).
+    """
+
+    #: Grow the bucket array when count / capacity exceeds this.
+    LOAD_FACTOR = 0.7
+
+    def __init__(self, key, val):
+        self.key = as_descriptor(key)
+        self.val = as_descriptor(val)
+        self.name = "map<%s,%s>" % (self.key.name, self.val.name)
+        self.buckets_type = MapBucketsType(self.key, self.val)
+        self.fixed_payload = align8(_MAP_BUCKETS + layout.HANDLE_SLOT_SIZE)
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self)
+        return code
+
+    def facade(self, block, offset):
+        return MapFacade(block, offset, self)
+
+    def dependents(self):
+        return [self.key, self.val, self.buckets_type]
+
+    def _slot_value(self, block, target_offset, type_code):
+        return self.facade(block, target_offset)
+
+    def allocate_value(self, block, value):
+        offset = block.allocate(self.fixed_payload, self.type_code(block))
+        if value:
+            view = self.facade(block, offset)
+            for key, item in value.items() if isinstance(value, dict) else value:
+                view.put(key, item)
+        return offset
+
+    def destroy_payload(self, block, payload_offset, payload_size):
+        slot = payload_offset + _MAP_BUCKETS
+        target, _code = layout.read_handle_slot(block.buf, slot)
+        if target is not None:
+            release_reference(block, target)
+            layout.write_handle_slot(block.buf, slot, None, 0)
+
+    def rewrite_handles(self, src_block, src_payload, dst_block, dst_payload,
+                        payload_size, memo):
+        src_slot = src_payload + _MAP_BUCKETS
+        dst_slot = dst_payload + _MAP_BUCKETS
+        target, _code = layout.read_handle_slot(src_block.buf, src_slot)
+        if target is None:
+            layout.write_handle_slot(dst_block.buf, dst_slot, None, 0)
+            return
+        copied = deep_copy_object(src_block, target, dst_block, memo)
+        code = layout.read_object_header(dst_block.buf, copied)[1]
+        dst_block.retain(copied)
+        layout.write_handle_slot(dst_block.buf, dst_slot, copied, code)
+
+
+class MapFacade:
+    """Dict-like view over a Map<K,V> living on a block."""
+
+    __slots__ = ("pc_block", "pc_offset", "descriptor")
+
+    def __init__(self, block, offset, descriptor):
+        self.pc_block = block
+        self.pc_offset = offset
+        self.descriptor = descriptor
+
+    @property
+    def _payload(self):
+        return self.pc_offset + OBJECT_HEADER_SIZE
+
+    def _buckets_offset(self):
+        target, _code = layout.read_handle_slot(
+            self.pc_block.buf, self._payload + _MAP_BUCKETS
+        )
+        return target
+
+    def __len__(self):
+        return _U64.unpack_from(self.pc_block.buf, self._payload + _MAP_COUNT)[0]
+
+    def _set_count(self, count):
+        _U64.pack_into(self.pc_block.buf, self._payload + _MAP_COUNT, count)
+
+    def _capacity(self):
+        buckets = self._buckets_offset()
+        if buckets is None:
+            return 0
+        return self.descriptor.buckets_type.capacity_of(self.pc_block, buckets)
+
+    def _entry_offset(self, buckets_offset, index):
+        return (
+            buckets_offset
+            + OBJECT_HEADER_SIZE
+            + index * self.descriptor.buckets_type.entry_size
+        )
+
+    def _find(self, key, key_hash):
+        """Locate ``key``; returns ``(entry_offset, found)``.
+
+        When not found, ``entry_offset`` is the insertion slot (or None if
+        there are no buckets yet).
+        """
+        buckets_offset = self._buckets_offset()
+        if buckets_offset is None:
+            return None, False
+        capacity = self._capacity()
+        buckets = self.descriptor.buckets_type
+        index = key_hash % capacity
+        for _probe in range(capacity):
+            entry = self._entry_offset(buckets_offset, index)
+            occupied, stored_hash = _ENTRY_FLAGS.unpack_from(
+                self.pc_block.buf, entry
+            )
+            if not occupied:
+                return entry, False
+            if stored_hash == key_hash:
+                stored_key = buckets.key.read_slot(
+                    self.pc_block, entry + buckets.key_offset
+                )
+                if _keys_equal(stored_key, key):
+                    return entry, True
+            index = (index + 1) % capacity
+        return None, False
+
+    def _rehash(self, minimum_buckets):
+        block = self.pc_block
+        buckets_type = self.descriptor.buckets_type
+        old_offset = self._buckets_offset()
+        old_capacity = self._capacity()
+        new_capacity = max(8, old_capacity * 2, minimum_buckets)
+        new_offset = buckets_type.allocate_value(block, new_capacity)
+        if old_offset is not None:
+            payload_size = layout.read_object_header(block.buf, old_offset)[2]
+            payload = old_offset + OBJECT_HEADER_SIZE
+            for entry, stored_hash in buckets_type._each_occupied(
+                block, payload, payload_size
+            ):
+                index = stored_hash % new_capacity
+                while True:
+                    new_entry = self._entry_offset(new_offset, index)
+                    occupied, _h = _ENTRY_FLAGS.unpack_from(
+                        block.buf, new_entry
+                    )
+                    if not occupied:
+                        break
+                    index = (index + 1) % new_capacity
+                _ENTRY_FLAGS.pack_into(block.buf, new_entry, 1, stored_hash)
+                self._transfer_slot(
+                    buckets_type.key, entry + buckets_type.key_offset,
+                    new_entry + buckets_type.key_offset,
+                )
+                self._transfer_slot(
+                    buckets_type.val, entry + buckets_type.val_offset,
+                    new_entry + buckets_type.val_offset,
+                )
+                _ENTRY_FLAGS.pack_into(block.buf, entry, 0, 0)
+        slot = self._payload + _MAP_BUCKETS
+        code = layout.read_object_header(block.buf, new_offset)[1]
+        block.retain(new_offset)
+        layout.write_handle_slot(block.buf, slot, new_offset, code)
+        if old_offset is not None:
+            release_reference(block, old_offset)
+
+    def _transfer_slot(self, descriptor, src_slot, dst_slot):
+        """Move one entry slot without refcount traffic (same block)."""
+        block = self.pc_block
+        if descriptor.is_object_type:
+            target, _code = layout.read_handle_slot(block.buf, src_slot)
+            if target is None:
+                layout.write_handle_slot(block.buf, dst_slot, None, 0)
+            else:
+                code = layout.read_object_header(block.buf, target)[1]
+                layout.write_handle_slot(block.buf, dst_slot, target, code)
+                layout.write_handle_slot(block.buf, src_slot, None, 0)
+        else:
+            size = descriptor.slot_size
+            block.buf[dst_slot:dst_slot + size] = block.buf[
+                src_slot:src_slot + size
+            ]
+
+    # -- dict protocol -----------------------------------------------------------
+
+    def put(self, key, value):
+        """Insert or overwrite ``key`` with ``value``."""
+        count = len(self)
+        capacity = self._capacity()
+        if capacity == 0 or (count + 1) > capacity * self.descriptor.LOAD_FACTOR:
+            self._rehash(count + 1)
+        key_hash = stable_hash(key)
+        entry, found = self._find(key, key_hash)
+        buckets = self.descriptor.buckets_type
+        if not found:
+            # Write the slots before raising the occupied flag: if an
+            # allocation faults mid-insert (page full), the entry stays
+            # unoccupied and the map remains consistent.
+            buckets.key.write_slot(
+                self.pc_block, entry + buckets.key_offset, key
+            )
+            buckets.val.write_slot(
+                self.pc_block, entry + buckets.val_offset, value
+            )
+            _ENTRY_FLAGS.pack_into(self.pc_block.buf, entry, 1, key_hash)
+            self._set_count(count + 1)
+        else:
+            buckets.val.write_slot(
+                self.pc_block, entry + buckets.val_offset, value
+            )
+
+    def get(self, key, default=None):
+        """Return the value stored for ``key`` or ``default``."""
+        entry, found = self._find(key, stable_hash(key))
+        if not found:
+            return default
+        buckets = self.descriptor.buckets_type
+        return buckets.val.read_slot(self.pc_block, entry + buckets.val_offset)
+
+    def __contains__(self, key):
+        return self._find(key, stable_hash(key))[1]
+
+    def __getitem__(self, key):
+        entry, found = self._find(key, stable_hash(key))
+        if not found:
+            raise KeyError(key)
+        buckets = self.descriptor.buckets_type
+        return buckets.val.read_slot(self.pc_block, entry + buckets.val_offset)
+
+    def __setitem__(self, key, value):
+        self.put(key, value)
+
+    def items(self):
+        """Iterate ``(key, value)`` pairs in bucket order."""
+        buckets_offset = self._buckets_offset()
+        if buckets_offset is None:
+            return
+        buckets = self.descriptor.buckets_type
+        payload_size = layout.read_object_header(
+            self.pc_block.buf, buckets_offset
+        )[2]
+        payload = buckets_offset + OBJECT_HEADER_SIZE
+        for entry, _h in buckets._each_occupied(
+            self.pc_block, payload, payload_size
+        ):
+            key = buckets.key.read_slot(self.pc_block, entry + buckets.key_offset)
+            value = buckets.val.read_slot(
+                self.pc_block, entry + buckets.val_offset
+            )
+            yield key, value
+
+    def keys(self):
+        """Iterate keys in bucket order."""
+        for key, _value in self.items():
+            yield key
+
+    def values(self):
+        """Iterate values in bucket order."""
+        for _key, value in self.items():
+            yield value
+
+    def to_dict(self):
+        """Decode the whole map into a Python dict (values stay facades)."""
+        return dict(self.items())
+
+    def __repr__(self):
+        return "Map<%s,%s>(%d entries)" % (
+            self.descriptor.key.name,
+            self.descriptor.val.name,
+            len(self),
+        )
+
+
+def _keys_equal(stored, probe):
+    if isinstance(stored, float) or isinstance(probe, float):
+        return float(stored) == float(probe)
+    return stored == probe
+
+
+# ---------------------------------------------------------------------------
+# AnyObject: Handle<Object> slots
+# ---------------------------------------------------------------------------
+
+class AnyObjectType(ObjectTypeDescriptor):
+    """Slot type for handles to objects of *any* PC type.
+
+    This is ``Handle<Object>`` in the paper: a container like the
+    per-page root ``Vector<Handle<Object>>`` stores handles whose concrete
+    type is only discovered at dereference time via the object header's
+    type code (dynamic dispatch, Section 6.3).
+    """
+
+    name = "object"
+
+    #: Fixed well-known code (see StringType.FIXED_CODE).
+    FIXED_CODE = 2
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self, code=self.FIXED_CODE)
+        return code
+
+    def facade(self, block, offset):
+        code = layout.read_object_header(block.buf, offset)[1]
+        return Handle(block, offset, code)
+
+    def allocate_value(self, block, value):
+        raise ObjectModelError(
+            "cannot allocate a value of unknown type; pass a Handle"
+        )
+
+
+AnyObject = AnyObjectType()

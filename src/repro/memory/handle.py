@@ -1,0 +1,127 @@
+"""Handles: PC's pointer-like objects.
+
+A :class:`Handle` is the Python-side proxy for the paper's ``Handle<T>``:
+it names an object by *(block, offset)* rather than by machine address, so
+it stays meaningful when the underlying page travels between simulated
+processes.  The on-page representation of a handle (inside another object's
+field or a container element) is the 12-byte relative-offset slot encoded
+by :mod:`repro.memory.layout`; this class is only the transient host-
+language view of one.
+
+Root handles returned by :func:`repro.memory.objects.make_object` own one
+reference count on their target (when the target's block is managed and
+the object is reference counted).  Call :meth:`Handle.release` to drop it —
+the Python-side analogue of ``myVec = nullptr`` in the paper's example.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DanglingHandleError, NullHandleError
+from repro.memory import layout
+from repro.memory.types import registry_of
+
+
+class Handle:
+    """A pointer-like reference to a PC object on an allocation block."""
+
+    __slots__ = ("block", "offset", "type_code", "_owns_ref")
+
+    def __init__(self, block, offset, type_code, owns_ref=False):
+        self.block = block
+        self.offset = offset
+        self.type_code = type_code
+        self._owns_ref = owns_ref
+
+    # -- null handling -------------------------------------------------------
+
+    @classmethod
+    def null(cls):
+        """The null handle."""
+        return cls(None, None, 0)
+
+    @property
+    def is_null(self):
+        """True for the null handle."""
+        return self.block is None
+
+    def __bool__(self):
+        return not self.is_null
+
+    # -- dereference ----------------------------------------------------------
+
+    def deref(self):
+        """Return the typed facade for the referenced object.
+
+        Dispatch happens on the type code stored in the *object header*
+        (not the handle), so a ``Handle`` declared at a supertype still
+        dereferences to the concrete subclass — the paper's dynamic
+        dispatch via type codes (Section 6.3).  The registry lookup is the
+        simulated vtable-pointer fix-up; a miss triggers the catalog fetch.
+        """
+        if self.is_null:
+            raise NullHandleError("dereference of null handle")
+        refcount, code, _size = layout.read_object_header(
+            self.block.buf, self.offset
+        )
+        if refcount == layout.REFCOUNT_FREED:
+            raise DanglingHandleError(
+                "handle to freed object at offset %d" % self.offset
+            )
+        descriptor = registry_of(self.block).lookup(code)
+        return descriptor.facade(self.block, self.offset)
+
+    def __getattr__(self, name):
+        # Delegation sugar: ``handle.salary`` reads the field through the
+        # facade, matching the ergonomics of C++'s ``handle->salary``.
+        if name in Handle.__slots__:
+            raise AttributeError(name)
+        return getattr(self.deref(), name)
+
+    # -- reference counting ----------------------------------------------------
+
+    def copy(self):
+        """A new root handle to the same object (takes its own reference)."""
+        if self.is_null:
+            return Handle.null()
+        self.block.retain(self.offset)
+        return Handle(self.block, self.offset, self.type_code, owns_ref=True)
+
+    def release(self):
+        """Drop this handle's reference; destroys the target at zero.
+
+        Safe to call on null or non-owning handles (no-op).  After release
+        the handle becomes null.
+        """
+        if self.is_null or not self._owns_ref:
+            self.block = None
+            self.offset = None
+            return
+        from repro.memory.objects import release_reference
+
+        release_reference(self.block, self.offset)
+        self._owns_ref = False
+        self.block = None
+        self.offset = None
+
+    # -- misc -------------------------------------------------------------------
+
+    def same_object(self, other):
+        """True when both handles reference the identical on-page object."""
+        if self.is_null or other.is_null:
+            return self.is_null and other.is_null
+        return self.block is other.block and self.offset == other.offset
+
+    def header(self):
+        """``(refcount, type_code, payload_size)`` of the target object."""
+        if self.is_null:
+            raise NullHandleError("header of null handle")
+        return layout.read_object_header(self.block.buf, self.offset)
+
+    def __repr__(self):
+        if self.is_null:
+            return "<Handle null>"
+        return "<Handle block=%d offset=%d code=%d>" % (
+            self.block.block_id,
+            self.offset,
+            self.type_code,
+        )

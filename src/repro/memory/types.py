@@ -1,0 +1,167 @@
+"""The PCType descriptor protocol and primitive type descriptors.
+
+A *type descriptor* knows how values of one type are stored inside an
+allocation block.  Two kinds exist:
+
+* **inline types** (primitives): the value's bytes live directly in the
+  field or element slot;
+* **object types** (strings, containers, ``PCObject`` subclasses): the slot
+  holds a 12-byte embedded handle and the value itself is a separately
+  allocated object on the same block.
+
+The protocol is what PC's C++ binding achieves with template
+metaprogramming: every container instantiation (``Vector[Float64]``,
+``Map[PCString, Int32]`` ...) is its own registered descriptor with its own
+type code, so fully "compiled" element accessors exist per instantiation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import TypeRegistrationError
+from repro.memory.typecodes import default_registry, simple_code
+
+
+def registry_of(block):
+    """The registry that governs type codes for ``block``."""
+    return block.registry if block.registry is not None else default_registry()
+
+
+class PCType:
+    """Base descriptor.  Subclasses fill in the slot codec.
+
+    Attributes
+    ----------
+    name:
+        Registry name; container instantiations embed their parameters
+        (``Vector<float64>``), mirroring C++ template instantiation names.
+    slot_size:
+        Bytes this type occupies inline as a field or container element.
+    is_object_type:
+        True when values are page-allocated objects referenced by handles.
+    fixed_payload:
+        Payload size for object types whose payload never varies (these are
+        the only objects eligible for the recycling allocator policy);
+        ``None`` for variable-length types.
+    """
+
+    name = "?"
+    slot_size = 0
+    is_object_type = False
+    fixed_payload = None
+
+    def type_code(self, block_or_registry):
+        """The type code for this descriptor under the relevant registry."""
+        raise NotImplementedError
+
+    def read_slot(self, block, offset):
+        """Decode the value stored in the slot at ``offset``."""
+        raise NotImplementedError
+
+    def write_slot(self, block, offset, value):
+        """Encode ``value`` into the slot at ``offset``."""
+        raise NotImplementedError
+
+    def default_value(self):
+        """The value a zero-initialized slot decodes to."""
+        raise NotImplementedError
+
+    def dependents(self):
+        """Descriptors this type's on-page layout refers to.
+
+        Used by the catalog to register a type's whole closure: a real
+        ``.so`` carries the template instantiations a class uses, so
+        registering ``Customer`` must also make ``vector<order>`` et al.
+        resolvable cluster-wide.
+        """
+        return []
+
+    def __repr__(self):
+        return "<pc-type %s>" % self.name
+
+
+class PrimitiveType(PCType):
+    """A fixed-width value stored inline (int, float, bool...).
+
+    Primitives are the paper's "simple types": no virtual functions, a
+    ``memmove`` suffices, and their type code encodes their size.
+    """
+
+    def __init__(self, name, fmt, default=0, caster=None):
+        self.name = name
+        self._codec = struct.Struct("<" + fmt)
+        self.slot_size = self._codec.size
+        self._default = default
+        self._caster = caster
+
+    def type_code(self, block_or_registry):
+        return simple_code(self.slot_size)
+
+    def read_slot(self, block, offset):
+        return self._codec.unpack_from(block.buf, offset)[0]
+
+    def write_slot(self, block, offset, value):
+        if self._caster is not None:
+            value = self._caster(value)
+        self._codec.pack_into(block.buf, offset, value)
+
+    def default_value(self):
+        return self._default
+
+
+class BoolType(PrimitiveType):
+    """One-byte boolean."""
+
+    def __init__(self):
+        super().__init__("bool", "B", default=False)
+
+    def read_slot(self, block, offset):
+        return bool(super().read_slot(block, offset))
+
+    def write_slot(self, block, offset, value):
+        super().write_slot(block, offset, 1 if value else 0)
+
+
+Int8 = PrimitiveType("int8", "b", caster=int)
+Int16 = PrimitiveType("int16", "h", caster=int)
+Int32 = PrimitiveType("int32", "i", caster=int)
+Int64 = PrimitiveType("int64", "q", caster=int)
+UInt32 = PrimitiveType("uint32", "I", caster=int)
+UInt64 = PrimitiveType("uint64", "Q", caster=int)
+Float32 = PrimitiveType("float32", "f", default=0.0, caster=float)
+Float64 = PrimitiveType("float64", "d", default=0.0, caster=float)
+Bool = BoolType()
+
+_PRIMITIVES_BY_NAME = {
+    t.name: t
+    for t in (Int8, Int16, Int32, Int64, UInt32, UInt64, Float32, Float64, Bool)
+}
+
+
+def primitive_by_name(name):
+    """Look up a primitive descriptor by its registry name."""
+    try:
+        return _PRIMITIVES_BY_NAME[name]
+    except KeyError:
+        raise TypeRegistrationError("unknown primitive type %r" % name)
+
+
+#: numpy dtype strings for primitives, used for the zero-copy
+#: ``numpy.frombuffer`` views that play the role of ``Eigen::Map`` over raw
+#: page bytes (Section 8.3.1).
+NUMPY_DTYPES = {
+    "int8": "i1",
+    "int16": "i2",
+    "int32": "i4",
+    "int64": "i8",
+    "uint32": "u4",
+    "uint64": "u8",
+    "float32": "f4",
+    "float64": "f8",
+}
+
+
+def numpy_dtype_for(descriptor):
+    """The numpy dtype string matching ``descriptor``, or None."""
+    return NUMPY_DTYPES.get(descriptor.name)

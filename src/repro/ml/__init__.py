@@ -1,0 +1,29 @@
+"""ML workloads on PlinyCompute: k-means, GMM, LDA (Section 8.5)."""
+
+from repro.ml.gmm import PCGmm, soft_assign_log_space
+from repro.ml.kmeans import PCKMeans, assign_chunk
+from repro.ml.lda import PCLda, PhiCol, ThetaRow, Triple
+from repro.ml.points import PointsChunk, load_points
+from repro.ml.sampling import (
+    dirichlet,
+    log_normalize,
+    multinomial_fast,
+    multinomial_slow,
+)
+
+__all__ = [
+    "PCGmm",
+    "PCKMeans",
+    "PCLda",
+    "PhiCol",
+    "PointsChunk",
+    "ThetaRow",
+    "Triple",
+    "assign_chunk",
+    "dirichlet",
+    "load_points",
+    "log_normalize",
+    "multinomial_fast",
+    "multinomial_slow",
+    "soft_assign_log_space",
+]

@@ -1,0 +1,61 @@
+"""Random-sampling kernels: the GSL stand-in (Section 8.5.1).
+
+Non-collapsed LDA needs Multinomial and Dirichlet sampling.  Two
+multinomial implementations are provided on purpose:
+
+* :func:`multinomial_slow` — a generic per-draw CDF walk in pure Python,
+  playing the role of the generic ``breeze`` sampler whose replacement
+  was the last Spark tuning step of Table 4;
+* :func:`multinomial_fast` — the vectorized "hand-coded" sampler both
+  the tuned baseline and the PC implementation use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def multinomial_slow(rng, count, probabilities):
+    """Draw ``count`` multinomial samples one CDF walk at a time."""
+    k = len(probabilities)
+    out = np.zeros(k, dtype=np.int64)
+    cdf = []
+    acc = 0.0
+    for p in probabilities:
+        acc += p
+        cdf.append(acc)
+    total = cdf[-1]
+    for _draw in range(count):
+        u = rng.random() * total
+        for index in range(k):
+            if u <= cdf[index]:
+                out[index] += 1
+                break
+        else:
+            out[k - 1] += 1
+    return out
+
+
+def multinomial_fast(rng, count, probabilities):
+    """Vectorized multinomial draw (numpy's native kernel)."""
+    probabilities = np.asarray(probabilities, dtype="f8")
+    total = probabilities.sum()
+    if total <= 0:
+        probabilities = np.full(len(probabilities), 1.0 / len(probabilities))
+    else:
+        probabilities = probabilities / total
+    return rng.multinomial(count, probabilities)
+
+
+def dirichlet(rng, alphas):
+    """Sample from a Dirichlet distribution."""
+    alphas = np.asarray(alphas, dtype="f8")
+    return rng.dirichlet(np.maximum(alphas, 1e-8))
+
+
+def log_normalize(log_values):
+    """The log-space trick: normalize exp(log_values) without underflow."""
+    log_values = np.asarray(log_values, dtype="f8")
+    peak = log_values.max()
+    shifted = np.exp(log_values - peak)
+    return shifted / shifted.sum()

@@ -1,0 +1,19 @@
+"""Storage subsystem: buffer pool, pages, page sets, storage managers."""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.dataset import PageSet, SetWriter
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.storage_manager import (
+    DistributedStorageManager,
+    LocalStorageServer,
+)
+
+__all__ = [
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "DistributedStorageManager",
+    "LocalStorageServer",
+    "Page",
+    "PageSet",
+    "SetWriter",
+]

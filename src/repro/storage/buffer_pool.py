@@ -1,0 +1,173 @@
+"""The buffer pool: pinned in-memory pages with LRU spill.
+
+Each worker's local storage server manages a buffer pool (Appendix D.1)
+used for buffering and caching datasets.  Pages are pinned while a
+computation reads or writes them; unpinned pages are eligible for LRU
+eviction.  Evicted dirty pages are written to the *user-level file system*
+(a spill directory), evicted clean pages are simply dropped and re-read
+on demand.  Because a page's bytes are its authoritative representation,
+spilling and re-loading is a straight byte copy either way — the storage
+half of the paper's zero-cost data movement.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+
+from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+
+
+class BufferPool:
+    """Fixed-budget page cache with pinning and LRU spill."""
+
+    def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
+                 registry=None, spill_dir=None):
+        if capacity_bytes < page_size:
+            raise StorageError("buffer pool smaller than one page")
+        self.capacity_bytes = capacity_bytes
+        self.page_size = page_size
+        self.registry = registry
+        self._pages = {}  # page_id -> Page
+        self._lru = OrderedDict()  # page_id -> None, oldest first
+        self._next_page_id = 1
+        self._in_memory_bytes = 0
+        if spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="pc-spill-")
+        else:
+            os.makedirs(spill_dir, exist_ok=True)
+            self._spill_dir = spill_dir
+        self._spilled = {}  # page_id -> file path
+        # Statistics (surfaced by the figure-4/5 benches and tests).
+        self.evictions = 0
+        self.spills = 0
+        self.reloads = 0
+        self.pages_created = 0
+
+    # -- page lifecycle -----------------------------------------------------------
+
+    def new_page(self, size=None, set_key=None, policy=None):
+        """Allocate a fresh pinned page."""
+        size = size or self.page_size
+        self._make_room(size)
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        kwargs = {"registry": self.registry, "set_key": set_key}
+        if policy is not None:
+            kwargs["policy"] = policy
+        page = Page.fresh(page_id, size, **kwargs)
+        page.pin_count = 1
+        self._pages[page_id] = page
+        self._in_memory_bytes += size
+        self.pages_created += 1
+        return page
+
+    def adopt_page(self, data, set_key=None):
+        """Install bytes that arrived from the network as a pinned page."""
+        self._make_room(len(data))
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        page = Page.from_bytes(
+            page_id, data, registry=self.registry, set_key=set_key
+        )
+        page.pin_count = 1
+        self._pages[page_id] = page
+        self._in_memory_bytes += page.size
+        self.pages_created += 1
+        return page
+
+    def pin(self, page_id):
+        """Pin a page, reloading it from spill if necessary."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise StorageError("unknown page id %d" % page_id)
+        if not page.in_memory:
+            self._reload(page)
+        page.pin_count += 1
+        self._lru.pop(page_id, None)
+        return page
+
+    def unpin(self, page_id, dirty=False):
+        """Release one pin; the page becomes evictable at zero pins."""
+        page = self._pages.get(page_id)
+        if page is None:
+            raise StorageError("unknown page id %d" % page_id)
+        if page.pin_count <= 0:
+            raise StorageError("unpin of unpinned page %d" % page_id)
+        if dirty:
+            page.dirty = True
+        page.pin_count -= 1
+        if page.pin_count == 0:
+            self._lru[page_id] = None
+
+    def free_page(self, page_id):
+        """Drop a page entirely (its set was cleared or it was temporary)."""
+        page = self._pages.pop(page_id, None)
+        if page is None:
+            return
+        self._lru.pop(page_id, None)
+        if page.in_memory:
+            self._in_memory_bytes -= page.size
+        path = self._spilled.pop(page_id, None)
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
+
+    # -- eviction / spill ------------------------------------------------------------
+
+    def _make_room(self, needed):
+        while self._in_memory_bytes + needed > self.capacity_bytes:
+            if not self._lru:
+                raise BufferPoolExhaustedError(
+                    "need %d bytes but all %d bytes are pinned"
+                    % (needed, self._in_memory_bytes)
+                )
+            victim_id, _none = self._lru.popitem(last=False)
+            self._evict(self._pages[victim_id])
+
+    def _evict(self, page):
+        self.evictions += 1
+        if page.dirty or page.page_id not in self._spilled:
+            path = os.path.join(self._spill_dir, "page-%d" % page.page_id)
+            with open(path, "wb") as f:
+                f.write(page.to_bytes())
+            self._spilled[page.page_id] = path
+            self.spills += 1
+            page.dirty = False
+        self._in_memory_bytes -= page.size
+        page.block = None
+
+    def _reload(self, page):
+        path = self._spilled.get(page.page_id)
+        if path is None:
+            raise StorageError(
+                "page %d is neither in memory nor spilled" % page.page_id
+            )
+        with open(path, "rb") as f:
+            data = f.read()
+        self._make_room(len(data))
+        reloaded = Page.from_bytes(
+            page.page_id, data, registry=self.registry, set_key=page.set_key
+        )
+        page.block = reloaded.block
+        self._in_memory_bytes += page.size
+        self.reloads += 1
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def in_memory_bytes(self):
+        return self._in_memory_bytes
+
+    def stats(self):
+        """Counters used by tests and the runtime benches."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "in_memory_bytes": self._in_memory_bytes,
+            "pages": len(self._pages),
+            "pages_created": self.pages_created,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "reloads": self.reloads,
+        }

@@ -1,0 +1,143 @@
+"""Storage managers: the distributed coordinator and per-worker servers.
+
+The master's *distributed storage manager* decides how a stored set is
+partitioned over workers and routes loaded data; each worker's *local
+storage server* owns a shared buffer pool plus the user-level file system
+holding its partitions (Appendix D.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import DatabaseNotFoundError, SetNotFoundError, StorageError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.dataset import PageSet
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+class LocalStorageServer:
+    """One worker's storage: a buffer pool and its set partitions."""
+
+    def __init__(self, worker_id, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
+                 registry=None, spill_dir=None):
+        self.worker_id = worker_id
+        self.pool = BufferPool(
+            capacity_bytes, page_size=page_size, registry=registry,
+            spill_dir=spill_dir,
+        )
+        self._sets = {}  # (db, set) -> PageSet
+
+    def create_set(self, database, name, type_name=None, page_size=None):
+        """Create the local partition of a set; idempotent."""
+        key = (database, name)
+        if key not in self._sets:
+            self._sets[key] = PageSet(
+                database, name, self.pool, type_name=type_name,
+                page_size=page_size,
+            )
+        return self._sets[key]
+
+    def get_set(self, database, name):
+        """The local partition of a set, or raise."""
+        try:
+            return self._sets[(database, name)]
+        except KeyError:
+            raise SetNotFoundError(
+                "worker %r has no partition of %s.%s"
+                % (self.worker_id, database, name)
+            ) from None
+
+    def has_set(self, database, name):
+        return (database, name) in self._sets
+
+    def drop_set(self, database, name):
+        """Clear and remove the local partition."""
+        page_set = self._sets.pop((database, name), None)
+        if page_set is not None:
+            page_set.clear()
+
+    def stats(self):
+        """Buffer-pool counters plus local set sizes."""
+        return {
+            "worker_id": self.worker_id,
+            "buffer_pool": self.pool.stats(),
+            "sets": {
+                "%s.%s" % key: len(page_set)
+                for key, page_set in self._sets.items()
+            },
+        }
+
+
+class DistributedStorageManager:
+    """The master-side coordinator for stored sets."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._servers = {}  # worker_id -> LocalStorageServer
+        self._round_robin = {}
+
+    def attach_server(self, server):
+        """Register a worker's local storage server."""
+        self._servers[server.worker_id] = server
+
+    @property
+    def worker_ids(self):
+        return sorted(self._servers)
+
+    def server(self, worker_id):
+        try:
+            return self._servers[worker_id]
+        except KeyError:
+            raise StorageError("unknown worker %r" % (worker_id,)) from None
+
+    def create_database(self, name):
+        """Create a database namespace cluster-wide."""
+        self.catalog.create_database(name)
+
+    def create_set(self, database, name, type_name=None, page_size=None):
+        """Create a set partitioned over every attached worker."""
+        if not self._servers:
+            raise StorageError("no storage servers attached")
+        meta = self.catalog.create_set(
+            database, name, type_name, self.worker_ids
+        )
+        for server in self._servers.values():
+            server.create_set(database, name, type_name, page_size=page_size)
+        self._round_robin[(database, name)] = itertools.cycle(self.worker_ids)
+        return meta
+
+    def drop_set(self, database, name):
+        """Remove a set everywhere."""
+        self.catalog.drop_set(database, name)
+        self._round_robin.pop((database, name), None)
+        for server in self._servers.values():
+            server.drop_set(database, name)
+
+    def partitions(self, database, name):
+        """The per-worker :class:`PageSet` partitions of a set."""
+        meta = self.catalog.set_metadata(database, name)
+        return [
+            self._servers[worker_id].get_set(database, name)
+            for worker_id in meta.partitions
+            if worker_id in self._servers
+        ]
+
+    def next_target(self, database, name):
+        """Round-robin choice of the worker receiving the next loaded page."""
+        cycle = self._round_robin.get((database, name))
+        if cycle is None:
+            raise SetNotFoundError("unknown set %s.%s" % (database, name))
+        return next(cycle)
+
+    def total_objects(self, database, name):
+        """Total object count of a set across all partitions."""
+        return sum(len(p) for p in self.partitions(database, name))
+
+    def __contains__(self, key):
+        database, name = key
+        try:
+            self.catalog.set_metadata(database, name)
+            return True
+        except Exception:
+            return False

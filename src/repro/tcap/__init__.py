@@ -1,0 +1,32 @@
+"""TCAP: PC's optimizable intermediate language."""
+
+from repro.tcap.compiler import TcapCompiler, compile_computations
+from repro.tcap.parser import parse_tcap
+from repro.tcap.ir import (
+    AggregateStmt,
+    ApplyStmt,
+    FilterStmt,
+    FlattenStmt,
+    HashStmt,
+    JoinStmt,
+    OutputStmt,
+    ScanStmt,
+    Statement,
+    TcapProgram,
+)
+
+__all__ = [
+    "AggregateStmt",
+    "ApplyStmt",
+    "FilterStmt",
+    "FlattenStmt",
+    "HashStmt",
+    "JoinStmt",
+    "OutputStmt",
+    "ScanStmt",
+    "Statement",
+    "TcapCompiler",
+    "parse_tcap",
+    "TcapProgram",
+    "compile_computations",
+]

@@ -1,0 +1,50 @@
+"""The TCAP optimizer: fire rewrite rules to a fixpoint (Section 7).
+
+The paper's optimizer is a Prolog rule base whose transformations fire
+iteratively until the plan cannot be improved further; :func:`optimize`
+is the Python equivalent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TcapError
+from repro.tcap.optimizer.rules import (
+    DEFAULT_RULES,
+    eliminate_dead_columns,
+    eliminate_dead_statements,
+    eliminate_redundant_applies,
+    push_filter_below_join,
+    split_and_filter,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "eliminate_dead_columns",
+    "eliminate_dead_statements",
+    "eliminate_redundant_applies",
+    "optimize",
+    "push_filter_below_join",
+    "split_and_filter",
+]
+
+
+def optimize(program, rules=None, max_iterations=200):
+    """Apply ``rules`` repeatedly until none fires; returns the program.
+
+    The program is rewritten in place (statement objects are mutated or
+    replaced); the rewritten program is re-validated after every firing so
+    a buggy rule fails fast instead of producing a silently-wrong plan.
+    """
+    rules = DEFAULT_RULES if rules is None else rules
+    for _iteration in range(max_iterations):
+        fired = False
+        for rule in rules:
+            if rule(program):
+                program.validate()
+                fired = True
+                break
+        if not fired:
+            return program
+    raise TcapError(
+        "optimizer did not reach a fixpoint in %d iterations" % max_iterations
+    )

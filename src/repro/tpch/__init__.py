@@ -1,0 +1,49 @@
+"""Denormalized TPC-H workloads (Section 8.4)."""
+
+from repro.tpch.generator import (
+    TpchSpec,
+    load_pc_customers,
+    python_customers,
+)
+from repro.tpch.queries import (
+    CustomerMultiSelection,
+    CustomerSupplierPartGroupBy,
+    TopJaccard,
+    customers_per_supplier_baseline,
+    customers_per_supplier_pc,
+    jaccard,
+    reference_customers_per_supplier,
+    reference_top_k,
+    top_k_jaccard_baseline,
+    top_k_jaccard_pc,
+)
+from repro.tpch.schema import (
+    Customer,
+    LineItem,
+    Order,
+    Part,
+    PyCustomer,
+    Supplier,
+)
+
+__all__ = [
+    "Customer",
+    "CustomerMultiSelection",
+    "CustomerSupplierPartGroupBy",
+    "LineItem",
+    "Order",
+    "Part",
+    "PyCustomer",
+    "Supplier",
+    "TopJaccard",
+    "TpchSpec",
+    "customers_per_supplier_baseline",
+    "customers_per_supplier_pc",
+    "jaccard",
+    "load_pc_customers",
+    "python_customers",
+    "reference_customers_per_supplier",
+    "reference_top_k",
+    "top_k_jaccard_baseline",
+    "top_k_jaccard_pc",
+]

@@ -1,0 +1,127 @@
+"""Tests for the Spark-like baseline engine."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import BaselineContext, Dataset, ParquetStore
+from repro.baseline.mllib import kmeans, linalg
+
+
+@pytest.fixture
+def context():
+    return BaselineContext(n_partitions=3)
+
+
+def test_narrow_transformations_pipeline_without_serde(context):
+    rdd = context.parallelize(range(100)).map(lambda x: x * 2).filter(
+        lambda x: x % 3 == 0
+    )
+    before = context.serde.serialize_calls
+    assert sorted(rdd.collect()) == sorted(
+        x * 2 for x in range(100) if (x * 2) % 3 == 0
+    )
+    assert context.serde.serialize_calls == before  # no boundary crossed
+
+
+def test_reduce_by_key_shuffles_with_serde(context):
+    rdd = context.parallelize(range(100)).map(lambda x: (x % 5, 1))
+    before = context.serde.serialize_calls
+    result = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+    assert result == {i: 20 for i in range(5)}
+    assert context.serde.serialize_calls > before
+    assert context.shuffles == 1
+
+
+def test_join_modes_agree(context):
+    left = context.parallelize([(i % 4, i) for i in range(20)])
+    right = context.parallelize([(i, "r%d" % i) for i in range(4)])
+    shuffled = sorted(left.join(right).collect())
+    broadcast = sorted(left.join(right, broadcast_hint=True).collect())
+    assert shuffled == broadcast
+    assert len(shuffled) == 20
+
+
+def test_persist_skips_recomputation(context):
+    calls = []
+
+    def trace(x):
+        calls.append(x)
+        return x
+
+    rdd = context.parallelize(range(10)).map(trace).persist()
+    rdd.collect()
+    rdd.collect()
+    assert len(calls) == 10  # second collect served from cache
+
+    rdd.unpersist()
+    rdd.collect()
+    assert len(calls) == 20
+
+
+def test_object_file_roundtrip_pays_serde(context):
+    data = list(range(50))
+    context.save_object_file(context.parallelize(data), "hdfs://d")
+    before = context.serde.deserialize_calls
+    loaded = context.object_file("hdfs://d")
+    assert sorted(loaded.collect()) == data
+    assert context.serde.deserialize_calls > before
+    # Every read re-deserializes (hot HDFS semantics).
+    loaded.collect()
+    assert context.serde.deserialize_calls > before + 1
+
+
+def test_group_by_key_and_distinct(context):
+    rdd = context.parallelize([1, 2, 2, 3, 3, 3])
+    assert sorted(rdd.distinct().collect()) == [1, 2, 3]
+    groups = dict(
+        rdd.map(lambda x: (x, x)).group_by_key().collect()
+    )
+    assert sorted(groups[3]) == [3, 3, 3]
+
+
+def test_dataset_parquet_roundtrip_and_rdd_conversion(context):
+    rows = [(i, float(i) * 2) for i in range(30)]
+    ParquetStore(context).write("hdfs://p", ["id", "value"], rows)
+    dataset = Dataset.read_parquet(context, "hdfs://p")
+    assert dataset.count() == 30
+    selected = dataset.select("value")
+    assert selected.schema == ["value"]
+    filtered = dataset.where("id", lambda v: v < 5)
+    assert filtered.count() == 5
+    before = context.serde.serialize_calls
+    rdd = dataset.to_rdd()
+    assert context.serde.serialize_calls > before  # conversion pays serde
+    assert sorted(rdd.collect()) == rows
+
+
+def test_mllib_kmeans_recovers_clusters(context):
+    rng = np.random.default_rng(0)
+    blobs = np.vstack([
+        rng.normal(loc=center, scale=0.05, size=(40, 2))
+        for center in [(0, 0), (5, 5), (0, 5)]
+    ])
+    rdd = context.parallelize(list(blobs))
+    model, _history = kmeans.train(rdd, k=3, iterations=8, seed=1)
+    recovered = sorted(tuple(np.round(c).astype(int)) for c in model.centers)
+    assert recovered == [(0, 0), (0, 5), (5, 5)]
+
+
+def test_mllib_gramian_and_regression(context):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(60, 4))
+    beta = np.array([1.0, -1.0, 2.0, 0.5])
+    y = x @ beta
+    matrix = linalg.RowMatrix(context.parallelize(list(x)))
+    assert np.allclose(matrix.gramian(), x.T @ x)
+    y_rdd = context.parallelize(list(y))
+    estimate = linalg.linear_regression(matrix, y_rdd)
+    assert np.allclose(estimate, beta, atol=1e-8)
+
+
+def test_mllib_nearest_neighbor(context):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(50, 3))
+    matrix = linalg.RowMatrix(context.parallelize(list(x)))
+    query = x[17] + 1e-6
+    dist, _part, _off, row = matrix.nearest_neighbor(query)
+    assert np.allclose(row, x[17])

@@ -1,0 +1,91 @@
+"""Unit tests for the lambda-calculus layer."""
+
+import pytest
+
+from repro.core import (
+    Arg,
+    as_lambda,
+    const_lambda,
+    lambda_from_member,
+    lambda_from_method,
+    lambda_from_native,
+    lambda_from_self,
+)
+from repro.errors import LambdaError
+
+
+class Thing:
+    def __init__(self, size):
+        self.size = size
+
+    def doubled(self):
+        return self.size * 2
+
+
+def test_abstraction_families_carry_metadata():
+    arg = Arg(0, Thing)
+    member = lambda_from_member(arg, "size")
+    assert member.info == {"type": "attAccess", "attName": "size"}
+    method = lambda_from_method(arg, "doubled")
+    assert method.info["methodName"] == "doubled"
+    identity = lambda_from_self(arg)
+    assert identity.kind == "self"
+    native = lambda_from_native([arg], lambda t: t.size)
+    assert native.info == {"type": "nativeLambda"}
+
+
+def test_executors_are_vectorized():
+    arg = Arg(0)
+    things = [Thing(1), Thing(2), Thing(3)]
+    assert lambda_from_member(arg, "size").executor()(things) == [1, 2, 3]
+    assert lambda_from_method(arg, "doubled").executor()(things) == [2, 4, 6]
+    assert lambda_from_self(arg).executor()(things) == things
+
+
+def test_composition_builds_trees_with_dependencies():
+    a, b = Arg(0), Arg(1)
+    term = (lambda_from_member(a, "size") == lambda_from_method(b, "doubled")) \
+        & (lambda_from_member(a, "size") > 5)
+    assert term.kind == "&&"
+    assert term.depends_on() == {0, 1}
+    conjuncts = list(term.conjuncts())
+    assert len(conjuncts) == 2
+    assert conjuncts[0].is_equality
+    assert not conjuncts[1].is_equality
+
+
+def test_constant_coercion():
+    term = lambda_from_member(Arg(0), "size") + 3
+    constant = term.children[1]
+    assert constant.kind == "constant"
+    assert constant.info["value"] == 3
+    assert as_lambda(constant) is constant
+
+
+def test_arithmetic_and_boolean_executors():
+    a = const_lambda(0)  # placeholder parents; executors run standalone
+    plus = (as_lambda(a) + 1)
+    assert plus.executor()([1, 2], [10, 10]) == [11, 12]
+    both = (as_lambda(a) & 1)
+    assert both.executor()([True, False], [True, True]) == [True, False]
+    negate = ~as_lambda(a)
+    assert negate.executor()([True, False]) == [False, True]
+
+
+def test_abstractions_require_arg_placeholders():
+    with pytest.raises(LambdaError):
+        lambda_from_member("not an arg", "x")
+    with pytest.raises(LambdaError):
+        lambda_from_method(None, "x")
+    with pytest.raises(LambdaError):
+        lambda_from_self(3)
+
+
+def test_walk_is_postorder():
+    a = Arg(0)
+    term = (lambda_from_member(a, "size") > 1) & (
+        lambda_from_member(a, "size") < 9
+    )
+    kinds = [node.kind for node in term.walk()]
+    assert kinds[-1] == "&&"
+    assert kinds.count("attAccess") == 2

@@ -1,0 +1,81 @@
+"""Unit tests for the lilLinAlg DSL front end (lexer + parser)."""
+
+import pytest
+
+from repro.errors import DslParseError
+from repro.lillinalg.dsl import (
+    Assign,
+    BinOp,
+    Call,
+    Name,
+    Parser,
+    Postfix,
+    tokenize,
+)
+
+
+def _parse(source):
+    return Parser(tokenize(source)).parse_program()
+
+
+def test_tokenizer_recognizes_matrix_operators():
+    kinds = [t.kind for t in tokenize("X '* y %*% z .* w ^-1 ';")]
+    assert "TMUL" in kinds
+    assert "MMUL" in kinds
+    assert "EMUL" in kinds
+    assert "INV" in kinds
+    assert "'" in kinds
+
+
+def test_tokenizer_skips_comments_and_whitespace():
+    tokens = tokenize("# a comment\nX = y;  # trailing\n")
+    assert [t.kind for t in tokens] == ["NAME", "=", "NAME", ";", "EOF"]
+
+
+def test_tokenizer_rejects_garbage():
+    with pytest.raises(DslParseError):
+        tokenize("X = @;")
+
+
+def test_parser_builds_the_regression_ast():
+    (statement,) = _parse('beta = (X \'* X)^-1 %*% (X \'* y);')
+    assert isinstance(statement, Assign)
+    assert statement.target == "beta"
+    expr = statement.expr
+    assert isinstance(expr, BinOp) and expr.op == "MMUL"
+    assert isinstance(expr.left, Postfix) and expr.left.op == "INV"
+    inner = expr.left.operand
+    assert isinstance(inner, BinOp) and inner.op == "TMUL"
+
+
+def test_precedence_multiplication_binds_tighter_than_addition():
+    (statement,) = _parse("R = A + B %*% C;")
+    expr = statement.expr
+    assert expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "MMUL"
+
+
+def test_postfix_transpose_chains():
+    (statement,) = _parse("T = A'';")
+    expr = statement.expr
+    assert isinstance(expr, Postfix) and expr.op == "'"
+    assert isinstance(expr.operand, Postfix)
+
+
+def test_function_calls_with_string_and_expr_arguments():
+    (statement,) = _parse('save(rowSum(X), "db", "sums");')
+    assert isinstance(statement, Call)
+    assert statement.fn == "save"
+    assert isinstance(statement.args[0], Call)
+    assert statement.args[0].fn == "rowSum"
+    assert isinstance(statement.args[1], Name)
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(DslParseError):
+        _parse("X = y")
+
+
+def test_unbalanced_parens_raise():
+    with pytest.raises(DslParseError):
+        _parse("X = (a + b;")

@@ -1,0 +1,119 @@
+"""End-to-end smoke tests for the PC object model.
+
+These mirror the paper's running examples: the DataPoint class from
+Section 3, zero-cost movement of a whole allocation block, and the
+cross-block deep-copy rule from Section 6.4.
+"""
+
+import pytest
+
+from repro.errors import BlockFullError
+from repro.memory import (
+    Float64,
+    Handle,
+    Int32,
+    MapType,
+    PCObject,
+    String,
+    VectorType,
+    AllocationBlock,
+    make_allocation_block,
+    make_object,
+    pop_allocation_block,
+    use_allocation_block,
+)
+
+
+class DataPoint(PCObject):
+    fields = [
+        ("dims", Int32),
+        ("label", String),
+        ("data", VectorType(Float64)),
+    ]
+
+
+@pytest.fixture
+def block():
+    blk = make_allocation_block(1 << 20)
+    yield blk
+    pop_allocation_block()
+
+
+def test_make_object_and_field_access(block):
+    point = make_object(DataPoint, dims=3, label="p0", data=[1.0, 2.0, 3.0])
+    view = point.deref()
+    assert view.dims == 3
+    assert view.label == "p0"
+    assert view.data.to_list() == [1.0, 2.0, 3.0]
+
+
+def test_handle_attribute_sugar(block):
+    point = make_object(DataPoint, dims=7, label="x")
+    assert point.dims == 7
+    assert point.label == "x"
+
+
+def test_zero_cost_movement_roundtrip(block):
+    point = make_object(DataPoint, dims=2, label="moved", data=[5.0, 6.0])
+    block.set_root(point.offset, point.type_code)
+    raw = block.to_bytes()
+
+    arrived = AllocationBlock.from_bytes(raw)
+    offset, code = arrived.root()
+    view = Handle(arrived, offset, code).deref()
+    assert view.dims == 2
+    assert view.label == "moved"
+    assert view.data.to_list() == [5.0, 6.0]
+
+
+def test_vector_numpy_view_aliases_page(block):
+    point = make_object(DataPoint, dims=4, data=[0.0, 0.0, 0.0, 0.0])
+    arr = point.deref().data.as_numpy()
+    arr[:] = [9.0, 8.0, 7.0, 6.0]
+    assert point.deref().data.to_list() == [9.0, 8.0, 7.0, 6.0]
+
+
+def test_cross_block_assignment_deep_copies(block):
+    donor = make_object(DataPoint, dims=1, label="donor", data=[42.0])
+    with use_allocation_block(AllocationBlock(1 << 20)) as other:
+        receiver = make_object(DataPoint, dims=9)
+        # Assigning a vector living on `block` into an object on `other`
+        # must deep-copy it; afterwards the two copies are independent.
+        receiver.deref().data = donor.deref().data
+        receiver.deref().data.append(100.0)
+    assert donor.deref().data.to_list() == [42.0]
+    assert receiver.deref().data.to_list() == [42.0, 100.0]
+    assert receiver.block is other
+
+
+def test_refcount_reclaims_space(block):
+    before = block.active_objects
+    point = make_object(DataPoint, dims=5, label="temp", data=[1.0])
+    assert block.active_objects > before
+    point.release()
+    assert block.active_objects == before
+
+
+def test_block_full_raises():
+    small = make_allocation_block(4096)
+    try:
+        with pytest.raises(BlockFullError):
+            for _ in range(10000):
+                make_object(DataPoint, dims=1, data=[1.0] * 64)
+    finally:
+        pop_allocation_block()
+    assert small.used <= small.size
+
+
+def test_map_of_string_to_vector(block):
+    map_type = MapType(String, VectorType(Int32))
+    table = make_object(map_type)
+    view = table.deref()
+    view.put("alice", [1, 2, 3])
+    view.put("bob", [4])
+    assert sorted(view.keys()) == ["alice", "bob"]
+    assert view["alice"].to_list() == [1, 2, 3]
+    assert view.get("carol") is None
+    view.put("alice", [9])
+    assert view["alice"].to_list() == [9]
+    assert len(view) == 2

@@ -1,0 +1,184 @@
+"""Property-based tests for the PC object model (hypothesis).
+
+Invariants under test:
+
+* **Vector/Map model equivalence** — arbitrary operation sequences on a
+  PC container and on the equivalent Python container always read back
+  the same contents.
+* **Zero-cost movement** — any allocation block's bytes, reconstituted
+  elsewhere, decode to identical objects (handles included).
+* **Deep-copy isolation** — a cross-block copy preserves values and
+  fully decouples the copy from its source.
+* **Allocation accounting** — releasing everything returns the block's
+  active-object count to zero under every allocator policy.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    AllocationBlock,
+    Float64,
+    Handle,
+    Int64,
+    LIGHTWEIGHT_REUSE,
+    MapType,
+    NO_REUSE,
+    PCObject,
+    RECYCLING,
+    String,
+    VectorType,
+    make_object_on,
+)
+
+_BLOCK_SIZE = 1 << 20
+
+keys = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31 - 1),
+    st.text(min_size=0, max_size=12),
+)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(floats, max_size=80))
+def test_vector_roundtrips_any_float_list(values):
+    block = AllocationBlock(_BLOCK_SIZE)
+    handle = make_object_on(block, VectorType(Float64), list(values))
+    assert handle.deref().to_list() == [float(v) for v in values]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.text(max_size=20), max_size=40))
+def test_vector_of_strings_roundtrips(values):
+    block = AllocationBlock(_BLOCK_SIZE)
+    handle = make_object_on(block, VectorType(String), list(values))
+    assert handle.deref().to_list() == values
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(keys, st.integers(-10**9, 10**9)), max_size=60))
+def test_map_matches_python_dict(operations):
+    """A PC map fed arbitrary puts always equals the Python dict."""
+    block = AllocationBlock(_BLOCK_SIZE)
+    key_type_probe = MapType(String, Int64)
+    int_map = MapType(Int64, Int64)
+    # Split by key kind: PC maps are homogeneous per instantiation.
+    model_str, model_int = {}, {}
+    str_map = make_object_on(block, key_type_probe, None).deref()
+    num_map = make_object_on(block, int_map, None).deref()
+    for key, value in operations:
+        if isinstance(key, str):
+            str_map.put(key, value)
+            model_str[key] = value
+        else:
+            num_map.put(key, value)
+            model_int[key] = value
+    assert dict(str_map.items()) == model_str
+    assert dict(num_map.items()) == model_int
+    assert len(str_map) == len(model_str)
+    for key in model_int:
+        assert num_map[key] == model_int[key]
+        assert key in num_map
+
+
+class Packet(PCObject):
+    fields = [
+        ("tag", Int64),
+        ("note", String),
+        ("values", VectorType(Float64)),
+    ]
+
+
+packets = st.tuples(
+    st.integers(-2**40, 2**40),
+    st.text(max_size=16),
+    st.lists(floats, max_size=10),
+)
+
+
+def _build(block, spec):
+    tag, note, values = spec
+    return make_object_on(block, Packet, tag=tag, note=note,
+                          values=[float(v) for v in values])
+
+
+def _read(handle):
+    view = handle.deref()
+    return (view.tag, view.note, view.values.to_list())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(packets, min_size=1, max_size=20))
+def test_zero_cost_movement_preserves_every_object(specs):
+    block = AllocationBlock(_BLOCK_SIZE)
+    root = make_object_on(block, VectorType(Packet), None)
+    vector = root.deref()
+    for spec in specs:
+        handle = _build(block, spec)
+        vector.append(handle)
+        handle.release()
+    block.set_root(root.offset, root.type_code)
+
+    arrived = AllocationBlock.from_bytes(block.to_bytes())
+    offset, code = arrived.root()
+    moved = Handle(arrived, offset, code).deref()
+    assert len(moved) == len(specs)
+    for index, spec in enumerate(specs):
+        tag, note, values = spec
+        assert _read(moved[index].handle() if hasattr(moved[index], "handle")
+                     else moved[index]) == (
+            tag, note, [float(v) for v in values]
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(packets)
+def test_cross_block_deep_copy_isolates(spec):
+    source = AllocationBlock(_BLOCK_SIZE)
+    target = AllocationBlock(_BLOCK_SIZE)
+    original = _build(source, spec)
+    holder = make_object_on(target, VectorType(Packet), None)
+    holder.deref().append(original)  # foreign handle -> deep copy
+    copy = holder.deref()[0]
+    assert _read(copy) == _read(original)
+    # Mutating the copy must not leak back to the source block.
+    copy.deref().tag = 999_999
+    copy.deref().values.append(123.0)
+    assert original.deref().tag == spec[0]
+    assert len(original.deref().values) == len(spec[2])
+    assert copy.block is target
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(packets, min_size=1, max_size=15),
+    st.sampled_from([LIGHTWEIGHT_REUSE, NO_REUSE, RECYCLING]),
+)
+def test_release_all_empties_block_under_every_policy(specs, policy):
+    block = AllocationBlock(_BLOCK_SIZE, policy=policy)
+    handles = [_build(block, spec) for spec in specs]
+    assert block.active_objects > 0
+    for handle in handles:
+        handle.release()
+    assert block.active_objects == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(keys, st.integers(0, 10**6)), min_size=1,
+                max_size=40))
+def test_map_survives_page_movement(entries):
+    block = AllocationBlock(_BLOCK_SIZE)
+    map_type = MapType(String, Int64)
+    handle = make_object_on(block, map_type, None)
+    view = handle.deref()
+    model = {}
+    for key, value in entries:
+        key = str(key)
+        view.put(key, value)
+        model[key] = value
+    block.set_root(handle.offset, handle.type_code)
+    arrived = AllocationBlock.from_bytes(block.to_bytes())
+    offset, _code = arrived.root()
+    moved = map_type.facade(arrived, offset)
+    assert dict(moved.items()) == model

@@ -1,0 +1,84 @@
+"""Tests for the TCAP text parser: round-trip with the printer."""
+
+import pytest
+
+from repro.core import (
+    AggregateComp,
+    JoinComp,
+    ObjectReader,
+    Writer,
+    lambda_from_member,
+    lambda_from_native,
+)
+from repro.errors import TcapParseError
+from repro.memory.types import Int64
+from repro.tcap import compile_computations
+from repro.tcap.parser import parse_tcap
+
+
+class J(JoinComp):
+    def get_selection(self, a, b):
+        return lambda_from_member(a, "k") == lambda_from_member(b, "k")
+
+    def get_projection(self, a, b):
+        return lambda_from_native([a, b], lambda x, y: (x, y))
+
+
+class A(AggregateComp):
+    key_type = Int64
+    value_type = Int64
+
+    def get_key_projection(self, arg):
+        return lambda_from_native([arg], lambda p: p[0])
+
+    def get_value_projection(self, arg):
+        return lambda_from_native([arg], lambda p: 1)
+
+
+def _program():
+    join = J()
+    join.set_input(0, ObjectReader("db", "a"))
+    join.set_input(1, ObjectReader("db", "b"))
+    agg = A().set_input(join)
+    return compile_computations(Writer("db", "out").set_input(agg))
+
+
+def test_roundtrip_through_text():
+    program = _program()
+    text = program.to_text()
+    parsed = parse_tcap(text)
+    assert parsed.validate()
+    assert parsed.to_text() == text
+    assert len(parsed) == len(program)
+
+
+def test_parses_paper_style_snippet():
+    text = (
+        "In(emp) <= SCAN('db', 'emps', 'Sel_43');\n"
+        "JK2_1(emp,mt1) <= APPLY(In(emp), In(emp), 'Sel_43', "
+        "'method_call_1', [('type', 'methodCall'), "
+        "('methodName', 'getSalary')]);\n"
+        "JK2_6(emp) <= FILTER(JK2_1(mt1), JK2_1(emp), 'Sel_43', []);\n"
+        "OUTPUT(JK2_6(emp), 'db', 'out', 'Write_9');\n"
+    )
+    program = parse_tcap(text)
+    assert program.validate()
+    assert program.statements[1].info["methodName"] == "getSalary"
+    assert program.statements[2].op == "FILTER"
+
+
+def test_parse_errors_carry_line_numbers():
+    with pytest.raises(TcapParseError):
+        parse_tcap("garbage statement;")
+    with pytest.raises(TcapParseError):
+        parse_tcap("In(x) <= SCAN(unquoted, 'set', 'C');")
+    with pytest.raises(TcapParseError):
+        parse_tcap("In(x) <= SCAN('db', 'set', 'C')")  # missing semicolon
+
+
+def test_parsed_programs_are_analysis_only():
+    program = parse_tcap("In(x) <= SCAN('db', 'set', 'C');")
+    from repro.errors import TcapError
+
+    with pytest.raises(TcapError):
+        program.stage_fn("C", "anything")

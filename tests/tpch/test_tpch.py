@@ -1,0 +1,85 @@
+"""TPC-H workload tests: PC and baseline agree with the oracle."""
+
+import pytest
+
+from repro.baseline import BaselineContext
+from repro.cluster import PCCluster
+from repro.tpch import (
+    TpchSpec,
+    customers_per_supplier_baseline,
+    customers_per_supplier_pc,
+    load_pc_customers,
+    python_customers,
+    reference_customers_per_supplier,
+    reference_top_k,
+    top_k_jaccard_baseline,
+    top_k_jaccard_pc,
+)
+
+SPEC = TpchSpec(n_customers=40, n_parts=60, n_suppliers=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = PCCluster(n_workers=2, page_size=1 << 16)
+    count = load_pc_customers(cluster, SPEC)
+    assert count == 40
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def customers():
+    return python_customers(SPEC)
+
+
+def test_pc_nested_customers_survive_page_movement(cluster, customers):
+    """Loaded trees read back identical to the generator's records."""
+    scanned = {h.cust_key: h for h in cluster.scan("tpch", "customers")}
+    assert len(scanned) == 40
+    for oracle in customers:
+        handle = scanned[oracle.cust_key]
+        view = handle.deref()
+        assert view.name == oracle.name
+        assert view.part_ids() == oracle.part_ids()
+        assert view.supplier_parts() == oracle.supplier_parts()
+
+
+def _normalize(result):
+    return {
+        supplier: {c: sorted(parts) for c, parts in customers.items()}
+        for supplier, customers in result.items()
+    }
+
+
+def test_customers_per_supplier_pc_matches_oracle(cluster, customers):
+    result, total = customers_per_supplier_pc(cluster)
+    oracle = reference_customers_per_supplier(customers)
+    assert _normalize(result) == _normalize(oracle)
+    assert total == sum(len(v) for v in oracle.values())
+
+
+def test_customers_per_supplier_baseline_matches_oracle(customers):
+    context = BaselineContext(n_partitions=3)
+    rdd = context.parallelize(customers)
+    result, total = customers_per_supplier_baseline(rdd)
+    oracle = reference_customers_per_supplier(customers)
+    assert _normalize(result) == _normalize(oracle)
+    assert context.shuffles >= 1  # the baseline really shuffled
+
+
+def test_top_k_jaccard_pc_matches_oracle(cluster, customers):
+    query = sorted(customers[0].part_ids())[:5] + [1, 2, 3]
+    expected = reference_top_k(customers, 4, query)
+    result = top_k_jaccard_pc(cluster, 4, query)
+    assert [(round(s, 9), c) for s, c, _p in result] == \
+        [(round(s, 9), c) for s, c, _p in expected]
+
+
+def test_top_k_jaccard_baseline_matches_oracle(customers):
+    context = BaselineContext(n_partitions=3)
+    rdd = context.parallelize(customers)
+    query = sorted(customers[0].part_ids())[:5] + [1, 2, 3]
+    expected = reference_top_k(customers, 4, query)
+    result = top_k_jaccard_baseline(rdd, 4, query)
+    assert [(round(s, 9), c) for s, c, _p in result] == \
+        [(round(s, 9), c) for s, c, _p in expected]
