@@ -32,7 +32,6 @@ from repro.memory import (
     NO_REUSE,
     PCObject,
     RECYCLING,
-    VectorType,
     AllocationBlock,
     make_object_on,
 )

@@ -13,10 +13,10 @@ from repro.core import (
     ObjectReader,
     SelectionComp,
     Writer,
-    lambda_from_member,
     lambda_from_method,
 )
 from repro.memory import Float64, Int32, Int64, PCObject, String, VectorType
+from repro.obs import render_trace
 
 
 # A complex PC object: nested container fields live on the same page.
@@ -83,11 +83,14 @@ def main():
     selection = BigPoints().set_input(reader)
     aggregate = CountByBucket().set_input(selection)
     writer = Writer("demo", "counts").set_input(aggregate)
-    job_log = cluster.execute_computations(writer)
+    job_log = cluster.execute_computations(writer, job_name="quickstart")
 
     print("\nscheduled job stages:")
     for stage in job_log:
         print("  ", stage)
+
+    print("\nthe job trace (where the time and the bytes went):")
+    print(render_trace(cluster.last_trace))
 
     print("\nthe optimized TCAP program:")
     print(cluster.last_program.to_text())

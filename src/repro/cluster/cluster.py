@@ -26,12 +26,13 @@ import contextlib
 from repro.catalog import CatalogManager
 from repro.engine.physical import plan_pipelines
 from repro.engine.vectors import DEFAULT_BATCH_SIZE
-from repro.errors import BlockFullError, StorageError
+from repro.errors import BlockFullError, CatalogError, StorageError
+from repro.obs import Tracer
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
 from repro.memory.handle import Handle
 from repro.memory.objects import make_object_on
 from repro.storage import DistributedStorageManager
-from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.tcap.compiler import compile_computations
 from repro.tcap.optimizer import optimize
 from repro.cluster.network import SimulatedNetwork
@@ -52,7 +53,8 @@ class PCCluster:
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None):
         self.catalog = CatalogManager()
-        self.network = SimulatedNetwork()
+        self.tracer = Tracer()
+        self.network = SimulatedNetwork(tracer=self.tracer)
         self.page_size = page_size
         self.batch_size = batch_size
         self.broadcast_threshold = broadcast_threshold
@@ -65,7 +67,7 @@ class PCCluster:
                 spill = "%s/worker-%d" % (spill_root, index)
             worker = WorkerNode(
                 "worker-%d" % index, self.catalog, worker_memory, page_size,
-                spill_dir=spill,
+                spill_dir=spill, tracer=self.tracer,
             )
             self.workers.append(worker)
             self.storage_manager.attach_server(worker.storage)
@@ -129,25 +131,36 @@ class PCCluster:
     # -- execution ----------------------------------------------------------------------
 
     def execute_computations(self, sinks, optimized=True,
-                             build_side_overrides=None):
+                             build_side_overrides=None, job_name="job"):
         """Compile, optimize, plan, and run a computation graph.
 
-        Returns the scheduler's job log (the Figure 4 trace).
+        Returns the scheduler's job log (the Figure 4 trace); the full
+        span tree with counters is available as :attr:`last_trace`
+        afterwards (even when a stage raised — partial traces are often
+        the most interesting ones).
         """
-        program = compile_computations(sinks)
-        if optimized:
-            optimize(program)
-        overrides = self._choose_build_sides(program)
-        overrides.update(build_side_overrides or {})
-        plan = plan_pipelines(program, build_side_overrides=overrides)
-        scheduler = DistributedScheduler(
-            self, program, plan,
-            broadcast_threshold=self.broadcast_threshold,
-        )
-        job_log = scheduler.execute()
-        self.last_program = program
-        self.last_plan = plan
-        self.last_job_log = job_log
+        with self.tracer.span(job_name, kind="job") as job_span:
+            with self.tracer.span("compile", kind="phase"):
+                program = compile_computations(sinks)
+                if optimized:
+                    optimize(program)
+            with self.tracer.span("plan", kind="phase"):
+                overrides = self._choose_build_sides(program)
+                overrides.update(build_side_overrides or {})
+                plan = plan_pipelines(program, build_side_overrides=overrides)
+            scheduler = DistributedScheduler(
+                self, program, plan,
+                broadcast_threshold=self.broadcast_threshold,
+            )
+            self.last_program = program
+            self.last_plan = plan
+            try:
+                job_log = scheduler.execute()
+            finally:
+                self.last_job_log = scheduler.job_log
+                job_span.inc("job.stages", len(scheduler.job_log))
+                job_span.inc("job.pipelines", len(plan))
+                job_span.inc("job.workers", len(self.workers))
         return job_log
 
     def _choose_build_sides(self, program):
@@ -181,7 +194,10 @@ class PCCluster:
                 partitions = self.storage_manager.partitions(
                     statement.database, statement.set_name
                 )
-            except Exception:
+            except (CatalogError, StorageError):
+                # Unknown or not-yet-loaded source: size cannot be traced,
+                # keep the default build side.  Anything else (a genuine
+                # bug) must propagate, not silently skew join planning.
                 return None
             for partition in partitions:
                 for page_id in partition.page_ids:
@@ -207,14 +223,12 @@ class PCCluster:
 
         PC objects come back as handles/facades (the client shares the
         process in this simulation); Python-value outputs come back
-        as-is.
+        as-is.  An unknown database or set raises
+        :class:`~repro.errors.SetNotFoundError` — a typo'd name must not
+        masquerade as an empty result.
         """
         results = []
-        try:
-            partitions = self.storage_manager.partitions(database, set_name)
-        except Exception:
-            partitions = []
-        for partition in partitions:
+        for partition in self.storage_manager.partitions(database, set_name):
             results.extend(partition.scan_objects())
         results.extend(self.python_outputs.get((database, set_name), []))
         return results
@@ -241,6 +255,11 @@ class PCCluster:
         return merged
 
     # -- introspection ------------------------------------------------------------------------
+
+    @property
+    def last_trace(self):
+        """The :class:`~repro.obs.Trace` of the most recent job, or None."""
+        return self.tracer.last_trace
 
     def stats(self):
         """Cluster-wide counters for tests and benches."""

@@ -8,11 +8,19 @@ serialization cost (whole PC pages) versus as structured rows.
 Within one OS process "shipping" is of course free; the value of the
 accounting is comparative — the Spark-like baseline pays real pickling
 CPU on every boundary, while the PC path ships page bytes verbatim.
+
+Besides the global counters, every transfer is reported into the active
+trace span (when a :class:`~repro.obs.Tracer` is attached and a job is
+running), so ``cluster.last_trace`` can attribute shuffle traffic to the
+stage that caused it (counters ``net.bytes_total``, ``net.bytes_zero_copy``,
+``net.bytes_rows``, ``net.messages``, and ``net.link.<src>-><dst>``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+
+from repro.obs import Tracer
 
 
 def estimate_value_bytes(value):
@@ -35,29 +43,35 @@ def estimate_value_bytes(value):
 class SimulatedNetwork:
     """Byte-accounted message passing between simulated nodes."""
 
-    def __init__(self):
+    def __init__(self, tracer=None):
+        self.tracer = tracer or Tracer()
         self.messages = 0
         self.bytes_total = 0
         self.bytes_zero_copy = 0  # whole PC pages, no serde
         self.bytes_rows = 0  # structured rows (join shuffles)
         self.by_link = defaultdict(int)  # (src, dst) -> bytes
 
+    def _record(self, src, dst, nbytes, counter):
+        self.messages += 1
+        self.bytes_total += nbytes
+        self.by_link[(src, dst)] += nbytes
+        self.tracer.add("net.messages")
+        self.tracer.add("net.bytes_total", nbytes)
+        self.tracer.add(counter, nbytes)
+        self.tracer.add("net.link.%s->%s" % (src, dst), nbytes)
+
     def ship_page(self, src, dst, data):
         """Move a PC page's bytes; zero serialization on either end."""
         nbytes = len(data)
-        self.messages += 1
-        self.bytes_total += nbytes
         self.bytes_zero_copy += nbytes
-        self.by_link[(src, dst)] += nbytes
+        self._record(src, dst, nbytes, "net.bytes_zero_copy")
         return data
 
     def ship_rows(self, src, dst, rows):
         """Move structured rows (the join-shuffle path)."""
         nbytes = sum(estimate_value_bytes(row) for row in rows)
-        self.messages += 1
-        self.bytes_total += nbytes
         self.bytes_rows += nbytes
-        self.by_link[(src, dst)] += nbytes
+        self._record(src, dst, nbytes, "net.bytes_rows")
         return rows
 
     def stats(self):
@@ -66,6 +80,12 @@ class SimulatedNetwork:
             "bytes_total": self.bytes_total,
             "bytes_zero_copy": self.bytes_zero_copy,
             "bytes_rows": self.bytes_rows,
+            # Serializable per-link breakdown: "src->dst" -> bytes.  This
+            # is what exposes skewed shuffle partners in cluster.stats().
+            "by_link": {
+                "%s->%s" % link: nbytes
+                for link, nbytes in self.by_link.items()
+            },
         }
 
     def reset(self):

@@ -24,6 +24,8 @@ serialization on both ends.
 
 from __future__ import annotations
 
+import contextlib
+
 from repro.core.computation import AggregateComp
 from repro.engine.physical import (
     SINK_AGGREGATE,
@@ -39,8 +41,8 @@ from repro.engine.pipeline import (
     PipelineEngine,
     Sink,
 )
-from repro.engine.vectors import VectorList, batches_of
-from repro.errors import ExecutionError
+from repro.engine.vectors import batches_of
+from repro.errors import ExecutionError, SetNotFoundError
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import MapType, stable_hash
 from repro.memory.objects import make_object_on
@@ -51,11 +53,20 @@ DEFAULT_BROADCAST_THRESHOLD = 8 << 20
 
 
 class JobStage:
-    """A record of one scheduled distributed job stage (for Figure 4)."""
+    """A record of one scheduled distributed job stage (for Figure 4).
+
+    ``span`` links the record to its trace span, so the job log and the
+    trace report the same stage with the same wall time.
+    """
 
     def __init__(self, kind, detail):
         self.kind = kind
         self.detail = detail
+        self.span = None
+
+    @property
+    def duration_s(self):
+        return self.span.duration_s if self.span is not None else None
 
     def __repr__(self):
         return "%s(%s)" % (self.kind, self.detail)
@@ -70,6 +81,7 @@ class DistributedScheduler:
         self.program = program
         self.plan = plan
         self.broadcast_threshold = broadcast_threshold
+        self.tracer = cluster.tracer
         self.join_modes = {}  # join output vlist -> "broadcast"|"partition"
         self.job_log = []
         self._engines = {}
@@ -88,6 +100,7 @@ class DistributedScheduler:
             engine = PipelineEngine(
                 self.program, self.plan, scan_reader,
                 batch_size=self.cluster.batch_size,
+                tracer=self.tracer,
             )
             self._engines[worker.worker_id] = engine
             worker.backend.engines[id(self)] = engine
@@ -117,6 +130,19 @@ class DistributedScheduler:
 
     # -- segment execution helpers ------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _stage(self, kind, detail):
+        """Record one job stage: a job-log entry plus its trace span."""
+        stage = JobStage(kind, detail)
+        self.job_log.append(stage)
+        with self.tracer.span(kind, kind="stage", detail=detail) as span:
+            stage.span = span
+            yield stage
+
+    def _task_span(self, worker):
+        """The per-worker task span nested under the current stage."""
+        return self.tracer.span(worker.worker_id, kind="task")
+
     def _segments(self, stages):
         """Split a stage chain at every *partitioned* join probe."""
         segments = [[]]
@@ -143,6 +169,8 @@ class DistributedScheduler:
             nonlocal columns
             for batch in batches:
                 engine.metrics.batches += 1
+                self.tracer.add("engine.batches")
+                self.tracer.add("engine.rows_in", len(batch))
                 current = batch
                 empty = False
                 for stage in stages:
@@ -153,12 +181,14 @@ class DistributedScheduler:
                         break
                 if empty:
                     continue
+                self.tracer.add("engine.rows_out", len(current))
                 if columns is None:
                     columns = {name: [] for name in current.names()}
                 for name in columns:
                     columns[name].extend(current.column(name))
 
-        worker.dispatch(run)
+        with self._task_span(worker):
+            worker.dispatch(run)
         return columns or {}
 
     def _run_stages_into_sink(self, worker, stages, batches, sink):
@@ -171,7 +201,8 @@ class DistributedScheduler:
                 engine._process_batch(pipeline, batch, sink)
             sink.finish()
 
-        worker.dispatch(run)
+        with self._task_span(worker):
+            worker.dispatch(run)
 
     def _shuffle_columns(self, per_worker_columns, hash_column):
         """Repartition rows by ``hash % n_workers``; returns per-worker columns."""
@@ -262,7 +293,7 @@ class DistributedScheduler:
                     page_set = worker.storage.get_set(
                         scan.database, scan.set_name
                     )
-                except Exception:
+                except SetNotFoundError:
                     continue
                 for page_id in page_set.page_ids:
                     page = worker.storage.pool.pin(page_id)
@@ -284,12 +315,13 @@ class DistributedScheduler:
             "broadcast" if size <= self.broadcast_threshold else "partition"
         )
         self.join_modes[join.output] = mode
-        self.job_log.append(JobStage(
+        with self._stage(
             "BuildHashTableJobStage",
-            "%s join build for %s (est %d bytes)"
-            % (mode, join.output, size),
-        ))
+            "%s join build for %s (est %d bytes)" % (mode, join.output, size),
+        ):
+            self._run_build_stage(pipeline, join, mode)
 
+    def _run_build_stage(self, pipeline, join, mode):
         if mode == "broadcast":
             merged = {}
             for worker in self.workers:
@@ -338,10 +370,6 @@ class DistributedScheduler:
     def _run_aggregate(self, pipeline):
         agg = pipeline.sink
         comp = self.program.computations[agg.computation]
-        self.job_log.append(JobStage(
-            "PipelineJobStage",
-            "pre-aggregation for %s" % agg.output,
-        ))
         # Producing stage: per-worker pre-aggregation (pipelining threads).
         sinks = {}
 
@@ -350,38 +378,42 @@ class DistributedScheduler:
             sinks[worker.worker_id] = sink
             return sink
 
-        self._run_distributed_pipeline(
-            pipeline, lambda worker: make_sink(worker)
-        )
+        with self._stage(
+            "PipelineJobStage", "pre-aggregation for %s" % agg.output,
+        ):
+            self._run_distributed_pipeline(
+                pipeline, lambda worker: make_sink(worker)
+            )
 
         # Shuffle combiner pages: hash-partition the pre-aggregated keys.
         n = len(self.workers)
-        final_groups = [dict() for _ in range(n)]
-        for src_index, worker in enumerate(self.workers):
-            engine = self.engine_for(worker)
-            store = engine.store.pop(agg.output, None)
-            if store is None:
-                continue
-            partitions = [dict() for _ in range(n)]
-            for key, value in zip(store["key"], store["val"]):
-                partitions[stable_hash(key) % n][key] = value
-            for dst_index, partition in enumerate(partitions):
-                if not partition:
-                    continue
-                self._ship_aggregate_partition(
-                    comp, worker, self.workers[dst_index], partition,
-                    final_groups[dst_index],
-                )
-        self.job_log.append(JobStage(
+        with self._stage(
             "AggregationJobStage",
             "shuffled merge for %s over %d partitions" % (agg.output, n),
-        ))
-        for w_index, worker in enumerate(self.workers):
-            groups = final_groups[w_index]
-            self.engine_for(worker).store[agg.output] = {
-                "key": list(groups.keys()),
-                "val": list(groups.values()),
-            }
+        ):
+            final_groups = [dict() for _ in range(n)]
+            for src_index, worker in enumerate(self.workers):
+                engine = self.engine_for(worker)
+                store = engine.store.pop(agg.output, None)
+                if store is None:
+                    continue
+                partitions = [dict() for _ in range(n)]
+                for key, value in zip(store["key"], store["val"]):
+                    partitions[stable_hash(key) % n][key] = value
+                for dst_index, partition in enumerate(partitions):
+                    if not partition:
+                        continue
+                    self._ship_aggregate_partition(
+                        comp, worker, self.workers[dst_index], partition,
+                        final_groups[dst_index],
+                    )
+            for w_index, worker in enumerate(self.workers):
+                groups = final_groups[w_index]
+                self.tracer.add("agg.merged_keys", len(final_groups[w_index]))
+                self.engine_for(worker).store[agg.output] = {
+                    "key": list(groups.keys()),
+                    "val": list(groups.values()),
+                }
 
     def _ship_aggregate_partition(self, comp, src, dst, partition, into):
         """Move one hash partition of pre-aggregated data src -> dst.
@@ -439,21 +471,17 @@ class DistributedScheduler:
                     into[key] = value
 
     def _run_materialize(self, pipeline):
-        self.job_log.append(JobStage(
+        with self._stage(
             "PipelineJobStage", "materialize %s" % pipeline.sink,
-        ))
-        self._run_distributed_pipeline(
-            pipeline,
-            lambda worker: MaterializeSink(self.engine_for(worker),
-                                           pipeline.sink),
-        )
+        ):
+            self._run_distributed_pipeline(
+                pipeline,
+                lambda worker: MaterializeSink(self.engine_for(worker),
+                                               pipeline.sink),
+            )
 
     def _run_output(self, pipeline):
         output = pipeline.sink
-        self.job_log.append(JobStage(
-            "PipelineJobStage",
-            "pipeline into %s.%s" % (output.database, output.set_name),
-        ))
         self.cluster.ensure_set(output.database, output.set_name)
         agg_comp = self._aggregate_behind(output)
 
@@ -469,7 +497,11 @@ class DistributedScheduler:
                 self.engine_for(worker), output, page_set, self.cluster
             )
 
-        self._run_distributed_pipeline(pipeline, sink_factory)
+        with self._stage(
+            "PipelineJobStage",
+            "pipeline into %s.%s" % (output.database, output.set_name),
+        ):
+            self._run_distributed_pipeline(pipeline, sink_factory)
 
     def _aggregate_behind(self, output_stmt):
         """The AggregateComp whose pairs this OUTPUT writes, if any."""

@@ -41,13 +41,14 @@ class WorkerNode:
     """One simulated worker: front-end process + forked back-end."""
 
     def __init__(self, worker_id, master_catalog, capacity_bytes,
-                 page_size, spill_dir=None):
+                 page_size, spill_dir=None, tracer=None):
         self.worker_id = worker_id
         # Front-end components (survive backend crashes).
         self.local_catalog = LocalCatalog(master_catalog)
         self.storage = LocalStorageServer(
             worker_id, capacity_bytes, page_size=page_size,
             registry=self.local_catalog.registry, spill_dir=spill_dir,
+            tracer=tracer,
         )
         self.backend = BackendProcess(self)
         self.refork_count = 0

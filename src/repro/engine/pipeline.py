@@ -20,6 +20,7 @@ native lambda allocates directly on the output page — the paper's
 from __future__ import annotations
 
 from repro.errors import BlockFullError, ExecutionError
+from repro.obs import Tracer
 from repro.memory.builtins import MapFacade, stable_hash
 from repro.memory.handle import Handle
 from repro.memory.objects import use_allocation_block
@@ -60,7 +61,7 @@ class PipelineEngine:
     """Executes a physical plan over one worker's data."""
 
     def __init__(self, program, plan, scan_reader, batch_size=None,
-                 output_sink_factory=None, metrics=None):
+                 output_sink_factory=None, metrics=None, tracer=None):
         """``scan_reader(scan_stmt)`` yields the objects of a stored set;
         ``output_sink_factory(output_stmt)`` builds the sink for OUTPUT
         statements (defaults to collecting Python lists).
@@ -70,6 +71,7 @@ class PipelineEngine:
         self.scan_reader = scan_reader
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
         self.metrics = metrics or EngineMetrics()
+        self.tracer = tracer or Tracer()
         self.hash_tables = {}  # join output vlist -> {hash: [row tuples]}
         self.store = {}  # materialized vlist -> {column: list}
         self.outputs = {}  # (db, set) -> list (when using the default sink)
@@ -101,6 +103,8 @@ class PipelineEngine:
         the sealed page become dead space, and the sealed page — which may
         hold output rows already — is the paper's zombie output page.
         """
+        self.tracer.add("engine.batches")
+        self.tracer.add("engine.rows_in", len(batch))
         for attempt in range(3):
             block = sink.allocation_block()
             try:
@@ -113,6 +117,8 @@ class PipelineEngine:
                     current = self._apply_stages(pipeline, batch)
                     if current is not None:
                         sink.consume(current)
+                if current is not None:
+                    self.tracer.add("engine.rows_out", len(current))
                 return
             except BlockFullError:
                 if attempt == 2:

@@ -41,7 +41,6 @@ from repro.memory.layout import (
     BLOCK_HEADER_SIZE,
     OBJECT_HEADER_SIZE,
     REFCOUNT_FREED,
-    REFCOUNT_UNCOUNTED,
     REFCOUNT_UNIQUE,
     align8,
 )

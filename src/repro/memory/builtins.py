@@ -36,7 +36,7 @@ from repro.memory.objects import (
     deep_copy_object,
     release_reference,
 )
-from repro.memory.types import numpy_dtype_for, registry_of
+from repro.memory.types import numpy_dtype_for
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")

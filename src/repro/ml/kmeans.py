@@ -23,7 +23,7 @@ from repro.core import (
 )
 from repro.errors import PCError
 from repro.memory import Float64, Int64, VectorType
-from repro.ml.points import PointsChunk, load_points
+from repro.ml.points import load_points
 
 
 def assign_chunk(points, centers, center_norms):

@@ -28,8 +28,7 @@ from repro.core import (
     lambda_from_member,
     lambda_from_native,
 )
-from repro.memory import Float64, Int32, Int64, PCObject, VectorType, \
-    make_object
+from repro.memory import Float64, Int32, Int64, PCObject, VectorType
 from repro.ml.sampling import dirichlet, multinomial_fast
 
 

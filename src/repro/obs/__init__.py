@@ -1,0 +1,6 @@
+"""Observability: job traces, typed counters, and report rendering."""
+
+from repro.obs.report import render_trace
+from repro.obs.tracer import Span, Trace, Tracer
+
+__all__ = ["Span", "Trace", "Tracer", "render_trace"]

@@ -1,0 +1,152 @@
+"""Job tracing: nestable spans with typed counters.
+
+The paper's evaluation (Figures 4-5) is built from per-stage numbers —
+wall time of every job stage, how many bytes each shuffle moved and how
+(zero-copy pages vs. structured rows), and how hard each worker's buffer
+pool worked.  The runtime components keep global counters for those
+quantities; this module adds *attribution*: a :class:`Tracer` maintains a
+stack of open :class:`Span`\\ s (``job -> stage -> worker task``) and any
+component can report a counter into whatever span is currently active.
+
+The tracer is deliberately simple: the simulated cluster runs in one
+thread, so the active span is a plain stack.  Components hold a tracer
+reference and call :meth:`Tracer.add`; with no open span the call is a
+no-op, so standalone use of (say) a :class:`~repro.storage.BufferPool`
+outside a job costs one dictionary miss per event.
+
+A finished top-level span becomes a :class:`Trace` (``tracer.last_trace``,
+surfaced as ``PCCluster.last_trace``) that serializes with
+:meth:`Trace.to_json` — the format written by ``BENCH_trace.json`` and
+documented in README.md's Observability section.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+
+
+class Span:
+    """One timed node of a trace tree.
+
+    ``kind`` classifies the span (``job``, ``phase``, ``stage``,
+    ``task``); ``name`` identifies it within its kind (a stage kind, a
+    worker id); ``detail`` is free-form human text.  ``counters`` holds
+    only what was reported *directly* into this span; :meth:`totals`
+    rolls descendants up.
+    """
+
+    __slots__ = ("name", "kind", "detail", "start", "end", "counters",
+                 "children")
+
+    def __init__(self, name, kind="span", detail=None):
+        self.name = name
+        self.kind = kind
+        self.detail = detail
+        self.start = time.perf_counter()
+        self.end = None
+        self.counters = {}
+        self.children = []
+
+    @property
+    def duration_s(self):
+        """Wall-clock seconds; live spans report time-so-far."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def inc(self, counter, value=1):
+        """Add ``value`` to a named counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def totals(self):
+        """This span's counters merged with all descendants' counters."""
+        merged = dict(self.counters)
+        for child in self.children:
+            for name, value in child.totals().items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self):
+        """JSON-ready representation (recursive)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "detail": self.detail,
+            "duration_s": round(self.duration_s, 9),
+            "counters": dict(self.counters),
+            "totals": self.totals(),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self):
+        return "<Span %s:%s %.3fms>" % (
+            self.kind, self.name, self.duration_s * 1e3
+        )
+
+
+class Trace:
+    """A completed top-level span, ready for export and queries."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def spans(self, kind=None):
+        """All spans (optionally of one kind), depth-first."""
+        return [
+            span for span in self.root.walk()
+            if kind is None or span.kind == kind
+        ]
+
+    def totals(self):
+        """Every counter in the trace, rolled up to one dict."""
+        return self.root.totals()
+
+    def to_dict(self):
+        return self.root.to_dict()
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class Tracer:
+    """Stack of open spans; the innermost one receives counters."""
+
+    def __init__(self):
+        self._stack = []
+        #: the :class:`Trace` of the most recently closed top-level span.
+        self.last_trace = None
+
+    @property
+    def active(self):
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name, kind="span", detail=None):
+        """Open a child span of the current one for the with-block."""
+        span = Span(name, kind=kind, detail=detail)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = time.perf_counter()
+            self._stack.pop()
+            if not self._stack:
+                self.last_trace = Trace(span)
+
+    def add(self, counter, value=1):
+        """Report into the active span; no-op when no span is open."""
+        if self._stack:
+            stack_top = self._stack[-1]
+            stack_top.counters[counter] = (
+                stack_top.counters.get(counter, 0) + value
+            )

@@ -17,6 +17,7 @@ import tempfile
 from collections import OrderedDict
 
 from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.obs import Tracer
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
 
@@ -24,12 +25,13 @@ class BufferPool:
     """Fixed-budget page cache with pinning and LRU spill."""
 
     def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
-                 registry=None, spill_dir=None):
+                 registry=None, spill_dir=None, tracer=None):
         if capacity_bytes < page_size:
             raise StorageError("buffer pool smaller than one page")
         self.capacity_bytes = capacity_bytes
         self.page_size = page_size
         self.registry = registry
+        self.tracer = tracer or Tracer()
         self._pages = {}  # page_id -> Page
         self._lru = OrderedDict()  # page_id -> None, oldest first
         self._next_page_id = 1
@@ -45,6 +47,7 @@ class BufferPool:
         self.spills = 0
         self.reloads = 0
         self.pages_created = 0
+        self.pins = 0
 
     # -- page lifecycle -----------------------------------------------------------
 
@@ -62,20 +65,25 @@ class BufferPool:
         self._pages[page_id] = page
         self._in_memory_bytes += size
         self.pages_created += 1
+        self.tracer.add("pool.pages_created")
         return page
 
     def adopt_page(self, data, set_key=None):
         """Install bytes that arrived from the network as a pinned page."""
-        self._make_room(len(data))
         page_id = self._next_page_id
         self._next_page_id += 1
+        # The shipped bytes are a used-prefix; the reconstituted block
+        # occupies its full declared size, so budget for that, not for
+        # len(data).
         page = Page.from_bytes(
             page_id, data, registry=self.registry, set_key=set_key
         )
+        self._make_room(page.size)
         page.pin_count = 1
         self._pages[page_id] = page
         self._in_memory_bytes += page.size
         self.pages_created += 1
+        self.tracer.add("pool.pages_created")
         return page
 
     def pin(self, page_id):
@@ -87,6 +95,8 @@ class BufferPool:
             self._reload(page)
         page.pin_count += 1
         self._lru.pop(page_id, None)
+        self.pins += 1
+        self.tracer.add("pool.pages_pinned")
         return page
 
     def unpin(self, page_id, dirty=False):
@@ -128,12 +138,14 @@ class BufferPool:
 
     def _evict(self, page):
         self.evictions += 1
+        self.tracer.add("pool.evictions")
         if page.dirty or page.page_id not in self._spilled:
             path = os.path.join(self._spill_dir, "page-%d" % page.page_id)
             with open(path, "wb") as f:
                 f.write(page.to_bytes())
             self._spilled[page.page_id] = path
             self.spills += 1
+            self.tracer.add("pool.spills")
             page.dirty = False
         self._in_memory_bytes -= page.size
         page.block = None
@@ -144,15 +156,24 @@ class BufferPool:
             raise StorageError(
                 "page %d is neither in memory nor spilled" % page.page_id
             )
+        # Guard against re-entrancy: if the page still sits in the LRU
+        # (pin_count 0, bytes dropped), _make_room below could pick it as
+        # its own eviction victim — double-decrementing the budget and
+        # crashing on to_bytes() of a block-less page.
+        self._lru.pop(page.page_id, None)
         with open(path, "rb") as f:
             data = f.read()
-        self._make_room(len(data))
+        # Spill files hold a block's used-prefix, which can be far
+        # smaller than the block it reconstitutes into; budget the real
+        # in-memory footprint, not the file size.
         reloaded = Page.from_bytes(
             page.page_id, data, registry=self.registry, set_key=page.set_key
         )
+        self._make_room(reloaded.size)
         page.block = reloaded.block
-        self._in_memory_bytes += page.size
+        self._in_memory_bytes += reloaded.size
         self.reloads += 1
+        self.tracer.add("pool.reloads")
 
     # -- introspection ------------------------------------------------------------------
 
@@ -170,4 +191,5 @@ class BufferPool:
             "evictions": self.evictions,
             "spills": self.spills,
             "reloads": self.reloads,
+            "pins": self.pins,
         }

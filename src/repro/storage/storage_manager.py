@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 
-from repro.errors import DatabaseNotFoundError, SetNotFoundError, StorageError
+from repro.errors import CatalogError, SetNotFoundError, StorageError
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.dataset import PageSet
 from repro.storage.page import DEFAULT_PAGE_SIZE
@@ -20,11 +20,11 @@ class LocalStorageServer:
     """One worker's storage: a buffer pool and its set partitions."""
 
     def __init__(self, worker_id, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
-                 registry=None, spill_dir=None):
+                 registry=None, spill_dir=None, tracer=None):
         self.worker_id = worker_id
         self.pool = BufferPool(
             capacity_bytes, page_size=page_size, registry=registry,
-            spill_dir=spill_dir,
+            spill_dir=spill_dir, tracer=tracer,
         )
         self._sets = {}  # (db, set) -> PageSet
 
@@ -115,8 +115,18 @@ class DistributedStorageManager:
             server.drop_set(database, name)
 
     def partitions(self, database, name):
-        """The per-worker :class:`PageSet` partitions of a set."""
-        meta = self.catalog.set_metadata(database, name)
+        """The per-worker :class:`PageSet` partitions of a set.
+
+        Raises :class:`SetNotFoundError` for an unknown database or set,
+        so storage callers see one error family regardless of whether the
+        miss happened in the catalog or on a worker.
+        """
+        try:
+            meta = self.catalog.set_metadata(database, name)
+        except CatalogError:
+            raise SetNotFoundError(
+                "unknown set %s.%s" % (database, name)
+            ) from None
         return [
             self._servers[worker_id].get_set(database, name)
             for worker_id in meta.partitions
@@ -139,5 +149,5 @@ class DistributedStorageManager:
         try:
             self.catalog.set_metadata(database, name)
             return True
-        except Exception:
+        except CatalogError:
             return False

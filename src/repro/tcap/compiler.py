@@ -30,7 +30,7 @@ from repro.core.computation import (
     Writer,
     computation_graph,
 )
-from repro.core.lambdas import Arg, LambdaTerm
+from repro.core.lambdas import Arg
 from repro.tcap.ir import (
     AggregateStmt,
     ApplyStmt,

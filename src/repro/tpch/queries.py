@@ -23,7 +23,7 @@ from repro.core import (
     Writer,
     lambda_from_native,
 )
-from repro.memory import Int32, Int64, MapType, String, VectorType
+from repro.memory import Int32, MapType, String, VectorType
 
 
 def jaccard(parts, query_set):

@@ -13,7 +13,7 @@ from repro.core import (
     lambda_from_native,
 )
 from repro.errors import WorkerCrashError
-from repro.memory import Float64, Int32, Int64, PCObject, String, VectorType
+from repro.memory import Float64, Int32, Int64, PCObject, String
 
 
 class Point(PCObject):

@@ -1,0 +1,59 @@
+"""Tests for the simulated network's byte accounting and stats surface."""
+
+import json
+
+from repro.cluster.network import SimulatedNetwork, estimate_value_bytes
+from repro.obs import Tracer
+
+
+def test_stats_split_zero_copy_and_row_traffic():
+    net = SimulatedNetwork()
+    net.ship_page("client", "worker-0", b"x" * 1000)
+    net.ship_rows("worker-0", "worker-1", [(1, "a"), (2, "b")])
+    stats = net.stats()
+    assert stats["messages"] == 2
+    assert stats["bytes_zero_copy"] == 1000
+    assert stats["bytes_rows"] == estimate_value_bytes((1, "a")) + \
+        estimate_value_bytes((2, "b"))
+    assert stats["bytes_total"] == \
+        stats["bytes_zero_copy"] + stats["bytes_rows"]
+
+
+def test_stats_surface_per_link_breakdown():
+    """by_link was tracked but never surfaced: skewed shuffle partners
+    were invisible in cluster.stats()."""
+    net = SimulatedNetwork()
+    net.ship_page("client", "worker-0", b"x" * 100)
+    net.ship_page("client", "worker-0", b"y" * 50)
+    net.ship_rows("worker-0", "worker-1", [(1,)])
+    stats = net.stats()
+    assert stats["by_link"]["client->worker-0"] == 150
+    assert stats["by_link"]["worker-0->worker-1"] == \
+        estimate_value_bytes((1,))
+    assert sum(stats["by_link"].values()) == stats["bytes_total"]
+    # The breakdown must be JSON-serializable (string keys, int values).
+    assert json.loads(json.dumps(stats["by_link"])) == stats["by_link"]
+
+
+def test_reset_clears_links_too():
+    net = SimulatedNetwork()
+    net.ship_page("a", "b", b"pq")
+    net.reset()
+    stats = net.stats()
+    assert stats["bytes_total"] == 0
+    assert stats["by_link"] == {}
+
+
+def test_transfers_report_into_the_active_span():
+    tracer = Tracer()
+    net = SimulatedNetwork(tracer=tracer)
+    net.ship_page("a", "b", b"x" * 7)  # outside any span: global only
+    with tracer.span("job", kind="job"):
+        net.ship_page("worker-0", "worker-1", b"x" * 10)
+        net.ship_rows("worker-1", "worker-0", [(1, 2)])
+    totals = tracer.last_trace.totals()
+    assert totals["net.bytes_zero_copy"] == 10
+    assert totals["net.bytes_rows"] == estimate_value_bytes((1, 2))
+    assert totals["net.link.worker-0->worker-1"] == 10
+    assert "net.link.a->b" not in totals
+    assert net.bytes_zero_copy == 17  # globals still cover everything

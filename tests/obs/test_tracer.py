@@ -1,0 +1,93 @@
+"""Unit tests for the tracing subsystem (repro.obs)."""
+
+import json
+
+from repro.obs import Tracer, render_trace
+
+
+def test_spans_nest_and_time():
+    tracer = Tracer()
+    with tracer.span("job-1", kind="job") as job:
+        with tracer.span("stage-a", kind="stage", detail="first"):
+            with tracer.span("worker-0", kind="task"):
+                pass
+        with tracer.span("stage-b", kind="stage"):
+            pass
+    assert job.end is not None
+    assert [c.name for c in job.children] == ["stage-a", "stage-b"]
+    assert job.children[0].children[0].kind == "task"
+    assert job.duration_s >= job.children[0].duration_s
+    assert all(s.duration_s >= 0 for s in job.walk())
+
+
+def test_counters_attach_to_innermost_open_span():
+    tracer = Tracer()
+    tracer.add("orphan", 5)  # no open span: must be a silent no-op
+    with tracer.span("job", kind="job"):
+        tracer.add("outer", 1)
+        with tracer.span("stage", kind="stage"):
+            tracer.add("inner", 2)
+            tracer.add("inner", 3)
+    trace = tracer.last_trace
+    assert trace.root.counters == {"outer": 1}
+    assert trace.root.children[0].counters == {"inner": 5}
+    # Roll-up merges descendants into the job view.
+    assert trace.totals() == {"outer": 1, "inner": 5}
+
+
+def test_last_trace_set_only_when_top_level_span_closes():
+    tracer = Tracer()
+    with tracer.span("job", kind="job"):
+        with tracer.span("stage", kind="stage"):
+            pass
+        assert tracer.last_trace is None  # job still open
+    assert tracer.last_trace is not None
+    assert tracer.last_trace.root.name == "job"
+
+
+def test_last_trace_survives_a_raising_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("job", kind="job"):
+            with tracer.span("stage", kind="stage"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    trace = tracer.last_trace
+    assert trace is not None
+    assert trace.root.end is not None
+    assert trace.root.children[0].end is not None
+
+
+def test_trace_queries_and_json_round_trip():
+    tracer = Tracer()
+    with tracer.span("job", kind="job"):
+        tracer.add("job.stages", 2)
+        with tracer.span("s1", kind="stage"):
+            tracer.add("net.bytes_zero_copy", 128)
+        with tracer.span("s2", kind="stage"):
+            tracer.add("net.bytes_rows", 64)
+    trace = tracer.last_trace
+    assert [s.name for s in trace.spans(kind="stage")] == ["s1", "s2"]
+    assert len(trace.spans()) == 3
+
+    parsed = json.loads(trace.to_json())
+    assert parsed["kind"] == "job"
+    assert parsed["totals"]["net.bytes_zero_copy"] == 128
+    stages = parsed["children"]
+    assert [s["name"] for s in stages] == ["s1", "s2"]
+    assert all(s["duration_s"] >= 0 for s in stages)
+
+
+def test_render_trace_mentions_spans_and_counters():
+    tracer = Tracer()
+    with tracer.span("job", kind="job"):
+        with tracer.span("BuildHashTableJobStage", kind="stage",
+                         detail="broadcast"):
+            tracer.add("net.bytes_zero_copy", 4096)
+    text = render_trace(tracer.last_trace)
+    assert "job" in text
+    assert "BuildHashTableJobStage" in text
+    assert "broadcast" in text
+    assert "net.bytes_zero_copy" in text
+    assert "4096" in text
