@@ -176,7 +176,7 @@ def test_ablation_join_threshold(benchmark):
         join.set_input(1, ObjectReader("db", "items"))
         writer = Writer("db", "out").set_input(join)
         elapsed, _log = timed(cluster.execute_computations, writer)
-        out = cluster.scan("db", "out")
+        out = cluster.read("db", "out")
         modes = [
             s.detail.split()[0] for s in cluster.last_job_log
             if s.kind == "BuildHashTableJobStage"

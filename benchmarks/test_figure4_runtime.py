@@ -59,7 +59,7 @@ def test_figure4_runtime_trace(benchmark):
     writer = Writer("db", "sums").set_input(agg)
     job_log = cluster.execute_computations(writer)
 
-    result = cluster.read_aggregate_set("db", "sums", comp=agg)
+    result = cluster.read("db", "sums", as_pairs=True, comp=agg)
     expected = {}
     for i in range(600):
         if (i % 100) > 50:

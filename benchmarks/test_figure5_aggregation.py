@@ -52,7 +52,7 @@ def test_figure5_distributed_aggregation(benchmark):
     writer = Writer("db", "totals").set_input(agg)
     cluster.execute_computations(writer)
 
-    result = cluster.read_aggregate_set("db", "totals", comp=agg)
+    result = cluster.read("db", "totals", as_pairs=True, comp=agg)
     expected = {}
     for i in range(2000):
         expected[i % n_keys] = expected.get(i % n_keys, 0.0) + float(i)

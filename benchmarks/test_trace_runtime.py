@@ -130,9 +130,9 @@ def test_trace_runtime_writes_bench_json(benchmark):
     jobs["tag-join"] = cluster.last_trace
 
     # Sanity: the workload actually computed something.
-    sums = cluster.read_aggregate_set("db", "sums", comp=agg)
+    sums = cluster.read("db", "sums", as_pairs=True, comp=agg)
     assert len(sums) == N_CLUSTERS
-    assert cluster.scan("db", "tagged")
+    assert cluster.read("db", "tagged")
 
     payload = {
         "benchmark": "trace_runtime",

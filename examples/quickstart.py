@@ -95,7 +95,7 @@ def main():
     print("\nthe optimized TCAP program:")
     print(cluster.last_program.to_text())
 
-    counts = cluster.read_aggregate_set("demo", "counts", comp=aggregate)
+    counts = cluster.read("demo", "counts", as_pairs=True, comp=aggregate)
     print("\npoints with |x| > 1, by bucket:", dict(sorted(counts.items())))
 
 

@@ -1,6 +1,7 @@
 """The simulated distributed runtime: master, workers, network, scheduler."""
 
 from repro.cluster.cluster import ClusterLoader, PCCluster
+from repro.cluster.faults import FakeClock, FaultInjector, RetryPolicy
 from repro.cluster.network import SimulatedNetwork, estimate_value_bytes
 from repro.cluster.scheduler import (
     DEFAULT_BROADCAST_THRESHOLD,
@@ -14,8 +15,11 @@ __all__ = [
     "ClusterLoader",
     "DEFAULT_BROADCAST_THRESHOLD",
     "DistributedScheduler",
+    "FakeClock",
+    "FaultInjector",
     "JobStage",
     "PCCluster",
+    "RetryPolicy",
     "SimulatedNetwork",
     "WorkerNode",
     "estimate_value_bytes",

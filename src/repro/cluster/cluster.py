@@ -15,18 +15,30 @@ Typical use mirrors the paper's client code::
     with cluster.loader("db", "points") as load:
         for row in data:
             load.append(DataPoint, dims=..., data=row)
-    cluster.execute_computations(my_writer)
-    centroids = cluster.read_aggregate_set("db", "centroids", comp=my_agg)
+    writer.execute(cluster)
+    centroids = cluster.read("db", "centroids", as_pairs=True, comp=my_agg)
+
+Fault tolerance: pass a :class:`~repro.cluster.faults.FaultInjector` to
+exercise back-end crashes, dropped transfers, and reload failures, and a
+:class:`~repro.cluster.faults.RetryPolicy` to control how the scheduler
+recovers (per-task retries with backoff, transfer re-sends, optional
+worker blacklisting with partition redistribution).
 """
 
 from __future__ import annotations
 
-import contextlib
+import warnings
 
 from repro.catalog import CatalogManager
 from repro.engine.physical import plan_pipelines
 from repro.engine.vectors import DEFAULT_BATCH_SIZE
-from repro.errors import BlockFullError, CatalogError, StorageError
+from repro.errors import (
+    BlockFullError,
+    CatalogError,
+    ExecutionError,
+    PageReloadError,
+    StorageError,
+)
 from repro.obs import Tracer
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
 from repro.memory.handle import Handle
@@ -35,6 +47,7 @@ from repro.storage import DistributedStorageManager
 from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.tcap.compiler import compile_computations
 from repro.tcap.optimizer import optimize
+from repro.cluster.faults import RetryPolicy
 from repro.cluster.network import SimulatedNetwork
 from repro.cluster.scheduler import (
     DEFAULT_BROADCAST_THRESHOLD,
@@ -51,15 +64,22 @@ class PCCluster:
     def __init__(self, n_workers=4, page_size=DEFAULT_PAGE_SIZE,
                  worker_memory=64 << 20, batch_size=DEFAULT_BATCH_SIZE,
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
-                 combiner_page_size=None, spill_root=None):
+                 combiner_page_size=None, spill_root=None,
+                 fault_injector=None, retry_policy=None):
         self.catalog = CatalogManager()
         self.tracer = Tracer()
-        self.network = SimulatedNetwork(tracer=self.tracer)
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.network = SimulatedNetwork(
+            tracer=self.tracer, fault_injector=fault_injector,
+            retry_policy=self.retry_policy,
+        )
         self.page_size = page_size
         self.batch_size = batch_size
         self.broadcast_threshold = broadcast_threshold
         self.combiner_page_size = combiner_page_size or page_size
         self.workers = []
+        self.blacklist = set()
         self.storage_manager = DistributedStorageManager(self.catalog)
         for index in range(n_workers):
             spill = None
@@ -68,6 +88,7 @@ class PCCluster:
             worker = WorkerNode(
                 "worker-%d" % index, self.catalog, worker_memory, page_size,
                 spill_dir=spill, tracer=self.tracer,
+                fault_injector=fault_injector,
             )
             self.workers.append(worker)
             self.storage_manager.attach_server(worker.storage)
@@ -111,22 +132,70 @@ class PCCluster:
         self.storage_manager.drop_set(database, name)
         self.python_outputs.pop((database, name), None)
 
+    # -- worker health -----------------------------------------------------------------
+
+    @property
+    def active_workers(self):
+        """Workers that have not been blacklisted."""
+        return [
+            w for w in self.workers if w.worker_id not in self.blacklist
+        ]
+
+    def decommission_worker(self, worker_id, reason=None):
+        """Blacklist a worker and redistribute its partitions to peers.
+
+        The worker's *front-end* storage is durable (the paper's premise:
+        only the back-end is unsafe), so its pages are shipped verbatim
+        to the surviving workers before the storage server is detached.
+        Returns the number of pages moved.
+        """
+        dead = next(
+            (w for w in self.workers if w.worker_id == worker_id), None
+        )
+        if dead is None or worker_id in self.blacklist:
+            return 0
+        survivors = [
+            w for w in self.active_workers if w.worker_id != worker_id
+        ]
+        if not survivors:
+            raise ExecutionError(
+                "cannot decommission %s: no surviving workers" % worker_id
+            )
+        self.blacklist.add(worker_id)
+        moved = 0
+        for key, page_set in dead.storage.sets():
+            for index, page_id in enumerate(list(page_set.page_ids)):
+                page = dead.storage.pool.pin(page_id)
+                data = page.to_bytes()
+                dead.storage.pool.unpin(page_id)
+                peer = survivors[(moved + index) % len(survivors)]
+                shipped = self.network.ship_page(
+                    worker_id, peer.worker_id, data
+                )
+                peer.storage.create_set(
+                    key[0], key[1], type_name=page_set.type_name,
+                    page_size=page_set.page_size,
+                )
+                peer.storage.get_set(*key).adopt_page_bytes(shipped)
+            moved += len(page_set.page_ids)
+        self.storage_manager.detach_server(worker_id)
+        self.tracer.add("faults.pages_redistributed", moved)
+        return moved
+
     # -- loading data -----------------------------------------------------------------
 
-    @contextlib.contextmanager
     def loader(self, database, set_name, page_size=None):
         """Client-side bulk loader: build pages locally, ship bytes.
 
         Pages are filled on the client with in-place allocations and
         dispatched whole to round-robin workers — the paper's
-        ``sendData`` with zero-cost movement.
+        ``sendData`` with zero-cost movement.  Use as a context manager:
+        a clean exit flushes the final partial page; an exception inside
+        the block *discards* the open page instead of shipping a
+        half-built one.
         """
-        loader = ClusterLoader(self, database, set_name,
-                               page_size or self.page_size)
-        try:
-            yield loader
-        finally:
-            loader.flush()
+        return ClusterLoader(self, database, set_name,
+                             page_size or self.page_size)
 
     # -- execution ----------------------------------------------------------------------
 
@@ -160,7 +229,7 @@ class PCCluster:
                 self.last_job_log = scheduler.job_log
                 job_span.inc("job.stages", len(scheduler.job_log))
                 job_span.inc("job.pipelines", len(plan))
-                job_span.inc("job.workers", len(self.workers))
+                job_span.inc("job.workers", len(self.active_workers))
         return job_log
 
     def _choose_build_sides(self, program):
@@ -201,7 +270,12 @@ class PCCluster:
                 return None
             for partition in partitions:
                 for page_id in partition.page_ids:
-                    page = partition.pool.pin(page_id)
+                    try:
+                        page = partition.pool.pin(page_id)
+                    except PageReloadError:
+                        # Planning only needs an estimate; a flaky reload
+                        # must not kill the job before it starts.
+                        continue
                     total += page.block.used if page.block else 0
                     partition.pool.unpin(page_id)
             return total
@@ -218,12 +292,18 @@ class PCCluster:
 
     # -- reading results --------------------------------------------------------------------
 
-    def scan(self, database, set_name):
-        """Gather a set's contents to the client.
+    def read(self, database, set_name, *, as_pairs=False, comp=None):
+        """Gather a set's contents to the client — the one read API.
 
-        PC objects come back as handles/facades (the client shares the
-        process in this simulation); Python-value outputs come back
-        as-is.  An unknown database or set raises
+        With ``as_pairs=False`` (default) returns the stored objects: PC
+        objects come back as handles/facades (the client shares the
+        process in this simulation), Python-value outputs come back
+        as-is.  With ``as_pairs=True`` the set is treated as an
+        aggregation output and merged into one ``{key: value}`` dict;
+        ``comp`` (the AggregateComp) supplies ``decode_key`` /
+        ``decode_value`` / ``combine`` for stored PC Maps.
+
+        An unknown database or set raises
         :class:`~repro.errors.SetNotFoundError` — a typo'd name must not
         masquerade as an empty result.
         """
@@ -231,28 +311,52 @@ class PCCluster:
         for partition in self.storage_manager.partitions(database, set_name):
             results.extend(partition.scan_objects())
         results.extend(self.python_outputs.get((database, set_name), []))
-        return results
-
-    def read_aggregate_set(self, database, set_name, comp=None):
-        """Merge an aggregation output set into one Python dict."""
+        if not as_pairs:
+            return results
         merged = {}
         decode_key = comp.decode_key if comp is not None else (lambda k: k)
         decode_value = comp.decode_value if comp is not None else (lambda v: v)
-        for item in self.scan(database, set_name):
+        combine = comp.combine if comp is not None else None
+        for item in results:
             view = item
             if isinstance(item, Handle) and not item.is_null:
                 view = item.deref()
             if isinstance(view, MapFacade):
-                for key, value in view.items():
-                    merged[decode_key(key)] = decode_value(value)
+                pairs = view.items()
             elif isinstance(view, tuple) and len(view) == 2:
-                merged[decode_key(view[0])] = decode_value(view[1])
+                pairs = [view]
             else:
                 raise StorageError(
                     "set %s.%s does not look like an aggregation output"
                     % (database, set_name)
                 )
+            for key, value in pairs:
+                key = decode_key(key)
+                value = decode_value(value)
+                if key in merged and combine is not None:
+                    merged[key] = combine(merged[key], value)
+                else:
+                    merged[key] = value
         return merged
+
+    # -- deprecated read API (thin shims) ---------------------------------------------------
+
+    def scan(self, database, set_name):
+        """Deprecated: use :meth:`read`."""
+        warnings.warn(
+            "PCCluster.scan is deprecated; use PCCluster.read(database, "
+            "set_name)", DeprecationWarning, stacklevel=2,
+        )
+        return self.read(database, set_name)
+
+    def read_aggregate_set(self, database, set_name, comp=None):
+        """Deprecated: use :meth:`read` with ``as_pairs=True``."""
+        warnings.warn(
+            "PCCluster.read_aggregate_set is deprecated; use "
+            "PCCluster.read(database, set_name, as_pairs=True, comp=comp)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.read(database, set_name, as_pairs=True, comp=comp)
 
     # -- introspection ------------------------------------------------------------------------
 
@@ -265,15 +369,22 @@ class PCCluster:
         """Cluster-wide counters for tests and benches."""
         return {
             "network": self.network.stats(),
+            "blacklist": sorted(self.blacklist),
             "workers": {
                 worker.worker_id: worker.storage.stats()
-                for worker in self.workers
+                for worker in self.active_workers
             },
         }
 
 
 class ClusterLoader:
-    """Builds pages client-side and dispatches them to workers."""
+    """Builds pages client-side and dispatches them to workers.
+
+    A context manager: ``__exit__`` flushes the final partial page on a
+    clean exit and discards the open block when the body raised, so a
+    failed load never ships a half-built page (and callers can no longer
+    forget the manual ``flush()``).
+    """
 
     def __init__(self, cluster, database, set_name, page_size):
         self.cluster = cluster
@@ -284,6 +395,17 @@ class ClusterLoader:
         self._root = None
         self.pages_shipped = 0
         self.objects_loaded = 0
+        self.objects_discarded = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.flush()
+        else:
+            self.discard()
+        return False
 
     def _open_block(self):
         from repro.memory.block import AllocationBlock
@@ -309,12 +431,12 @@ class ClusterLoader:
                 handle.release()
                 self.objects_loaded += 1
                 return
-            except BlockFullError:
+            except BlockFullError as full:
                 if attempt:
                     raise StorageError(
                         "one object does not fit on an empty %d-byte page"
                         % self.page_size
-                    )
+                    ) from full
                 self._ship_block()
                 self._open_block()
 
@@ -333,12 +455,12 @@ class ClusterLoader:
                 handle.release()
                 self.objects_loaded += 1
                 return
-            except BlockFullError:
+            except BlockFullError as full:
                 if attempt:
                     raise StorageError(
                         "one object does not fit on an empty %d-byte page"
                         % self.page_size
-                    )
+                    ) from full
                 self._ship_block()
                 self._open_block()
 
@@ -360,3 +482,10 @@ class ClusterLoader:
     def flush(self):
         """Ship the final partially-filled page."""
         self._ship_block()
+
+    def discard(self):
+        """Drop the open partially-built page without shipping it."""
+        if self._root is not None:
+            self.objects_discarded += len(self._root)
+        self._block = None
+        self._root = None

@@ -14,12 +14,21 @@ trace span (when a :class:`~repro.obs.Tracer` is attached and a job is
 running), so ``cluster.last_trace`` can attribute shuffle traffic to the
 stage that caused it (counters ``net.bytes_total``, ``net.bytes_zero_copy``,
 ``net.bytes_rows``, ``net.messages``, and ``net.link.<src>-><dst>``).
+
+A :class:`~repro.cluster.faults.FaultInjector` can drop or delay any
+transfer.  Dropped transfers are re-sent up to
+``RetryPolicy.transfer_retries`` times (counters
+``net.transfers_dropped`` / ``net.transfer_retries``); when the budget is
+exhausted a :class:`~repro.errors.TransferDroppedError` surfaces to the
+caller.  Delays are *simulated*: the delay seconds are accounted
+(``net.delay_ms``), not slept.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.errors import TransferDroppedError
 from repro.obs import Tracer
 
 
@@ -43,13 +52,18 @@ def estimate_value_bytes(value):
 class SimulatedNetwork:
     """Byte-accounted message passing between simulated nodes."""
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, fault_injector=None, retry_policy=None):
         self.tracer = tracer or Tracer()
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self.messages = 0
         self.bytes_total = 0
         self.bytes_zero_copy = 0  # whole PC pages, no serde
         self.bytes_rows = 0  # structured rows (join shuffles)
         self.by_link = defaultdict(int)  # (src, dst) -> bytes
+        self.transfers_dropped = 0
+        self.transfer_retries = 0
+        self.delay_s_total = 0.0
 
     def _record(self, src, dst, nbytes, counter):
         self.messages += 1
@@ -60,18 +74,49 @@ class SimulatedNetwork:
         self.tracer.add(counter, nbytes)
         self.tracer.add("net.link.%s->%s" % (src, dst), nbytes)
 
+    def _deliver(self, src, dst, nbytes, counter):
+        """Attempt delivery, re-sending dropped transfers per policy."""
+        attempts = 0
+        while True:
+            verdict, delay_s = "deliver", 0.0
+            if self.fault_injector is not None:
+                verdict, delay_s = self.fault_injector.on_transfer(
+                    src, dst, nbytes
+                )
+            if delay_s:
+                self.delay_s_total += delay_s
+                self.tracer.add("net.delay_events")
+                self.tracer.add("net.delay_ms", int(delay_s * 1000))
+            if verdict == "deliver":
+                self._record(src, dst, nbytes, counter)
+                return
+            self.transfers_dropped += 1
+            self.tracer.add("net.transfers_dropped")
+            budget = (
+                self.retry_policy.transfer_retries
+                if self.retry_policy is not None else 0
+            )
+            if attempts >= budget:
+                raise TransferDroppedError(
+                    "transfer %s->%s (%d bytes) dropped and retry budget "
+                    "of %d exhausted" % (src, dst, nbytes, budget)
+                )
+            attempts += 1
+            self.transfer_retries += 1
+            self.tracer.add("net.transfer_retries")
+
     def ship_page(self, src, dst, data):
         """Move a PC page's bytes; zero serialization on either end."""
         nbytes = len(data)
+        self._deliver(src, dst, nbytes, "net.bytes_zero_copy")
         self.bytes_zero_copy += nbytes
-        self._record(src, dst, nbytes, "net.bytes_zero_copy")
         return data
 
     def ship_rows(self, src, dst, rows):
         """Move structured rows (the join-shuffle path)."""
         nbytes = sum(estimate_value_bytes(row) for row in rows)
+        self._deliver(src, dst, nbytes, "net.bytes_rows")
         self.bytes_rows += nbytes
-        self._record(src, dst, nbytes, "net.bytes_rows")
         return rows
 
     def stats(self):
@@ -80,6 +125,9 @@ class SimulatedNetwork:
             "bytes_total": self.bytes_total,
             "bytes_zero_copy": self.bytes_zero_copy,
             "bytes_rows": self.bytes_rows,
+            "transfers_dropped": self.transfers_dropped,
+            "transfer_retries": self.transfer_retries,
+            "delay_s_total": self.delay_s_total,
             # Serializable per-link breakdown: "src->dst" -> bytes.  This
             # is what exposes skewed shuffle partners in cluster.stats().
             "by_link": {
@@ -94,3 +142,6 @@ class SimulatedNetwork:
         self.bytes_zero_copy = 0
         self.bytes_rows = 0
         self.by_link.clear()
+        self.transfers_dropped = 0
+        self.transfer_retries = 0
+        self.delay_s_total = 0.0

@@ -20,6 +20,22 @@ bit-for-bit: each worker's pre-aggregated groups are materialized into a
 PC ``Map`` on a combiner page, the page's *bytes* are shipped, and the
 receiver reads the Map straight out of the arrived bytes — zero
 serialization on both ends.
+
+Fault tolerance (Section 2's dual-process rationale): every per-worker
+task runs through :meth:`DistributedScheduler._run_worker_task`, which
+builds its inputs and sink fresh per attempt.  When the back-end crashes
+(a user-code bug, an injected fault, a failed page reload), the front-end
+re-forks it and the scheduler consults its
+:class:`~repro.cluster.faults.RetryPolicy`: allowed retries re-dispatch
+*only the failed worker's portion* of the stage against the surviving
+front-end storage, after an exponential backoff (reported as a ``retry``
+span).  Completed stages' per-worker outputs (hash tables, materialized
+stores) are checkpointed at stage boundaries so a re-forked back-end can
+be rebuilt mid-job.  A worker that exhausts its attempts either fails the
+job with an :class:`~repro.errors.ExecutionError` naming the stage and
+worker, or — when the policy allows blacklisting — is decommissioned:
+its durable partitions are redistributed to the surviving workers and the
+job restarts over them.
 """
 
 from __future__ import annotations
@@ -42,11 +58,17 @@ from repro.engine.pipeline import (
     Sink,
 )
 from repro.engine.vectors import batches_of
-from repro.errors import ExecutionError, SetNotFoundError
+from repro.errors import (
+    ExecutionError,
+    PageReloadError,
+    SetNotFoundError,
+    WorkerCrashError,
+    WorkerLostError,
+)
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import MapType, stable_hash
 from repro.memory.objects import make_object_on
-from repro.tcap.ir import ApplyStmt, JoinStmt
+from repro.tcap.ir import ApplyStmt, JoinStmt, OutputStmt
 
 #: Scaled stand-in for the paper's 2 GB broadcast-join threshold.
 DEFAULT_BROADCAST_THRESHOLD = 8 << 20
@@ -82,14 +104,28 @@ class DistributedScheduler:
         self.plan = plan
         self.broadcast_threshold = broadcast_threshold
         self.tracer = cluster.tracer
+        self.faults = cluster.fault_injector
+        self.retry_policy = cluster.retry_policy
         self.join_modes = {}  # join output vlist -> "broadcast"|"partition"
         self.job_log = []
-        self._engines = {}
+        self._checkpoints = {}  # worker_id -> {"hash_tables": .., "store": ..}
+        self._current_stage = None
 
     # -- engines -------------------------------------------------------------------
 
+    @property
+    def _job_key(self):
+        """The key this scheduler registers its engines under."""
+        return id(self)
+
     def engine_for(self, worker):
-        engine = self._engines.get(worker.worker_id)
+        """This job's pipeline engine on ``worker``'s current back-end.
+
+        Keyed into the back-end's transient state, so a re-fork implicitly
+        invalidates it; the replacement engine is seeded with the
+        checkpointed outputs of the stages that already completed.
+        """
+        engine = worker.backend.engines.get(self._job_key)
         if engine is None:
             def scan_reader(scan_stmt, _worker=worker):
                 page_set = _worker.storage.get_set(
@@ -102,17 +138,58 @@ class DistributedScheduler:
                 batch_size=self.cluster.batch_size,
                 tracer=self.tracer,
             )
-            self._engines[worker.worker_id] = engine
-            worker.backend.engines[id(self)] = engine
+            checkpoint = self._checkpoints.get(worker.worker_id)
+            if checkpoint is not None:
+                engine.hash_tables.update(checkpoint["hash_tables"])
+                engine.store.update(checkpoint["store"])
+            worker.backend.engines[self._job_key] = engine
         return engine
+
+    def _checkpoint_workers(self):
+        """Snapshot every worker's completed-stage outputs.
+
+        Called at successful stage boundaries.  The snapshot lives with
+        the scheduler (front-end durable territory), so when a back-end is
+        re-forked mid-job its replacement engine can be rebuilt without
+        re-running the stages that already finished.
+        """
+        for worker in self.workers:
+            engine = worker.backend.engines.get(self._job_key)
+            if engine is None:
+                continue
+            self._checkpoints[worker.worker_id] = {
+                "hash_tables": dict(engine.hash_tables),
+                "store": dict(engine.store),
+            }
+
+    def _release_engines(self):
+        """Drop this job's engines from every back-end (leak fix).
+
+        Without this, engines keyed by finished jobs accumulate in
+        ``BackendProcess.engines`` across executions — and a recycled job
+        key could even resurrect a stale engine.
+        """
+        for worker in self.cluster.workers:
+            worker.backend.release_job(self._job_key)
 
     @property
     def workers(self):
-        return self.cluster.workers
+        return self.cluster.active_workers
 
     # -- main entry ------------------------------------------------------------------
 
     def execute(self):
+        try:
+            while True:
+                try:
+                    self._execute_plan()
+                    return self.job_log
+                except WorkerLostError as lost:
+                    self._degrade(lost)
+        finally:
+            self._release_engines()
+
+    def _execute_plan(self):
         for pipeline in self.plan:
             if pipeline.sink_kind == SINK_HASH_BUILD:
                 self._run_build(pipeline)
@@ -126,7 +203,125 @@ class DistributedScheduler:
                 raise ExecutionError(
                     "unschedulable sink %r" % pipeline.sink_kind
                 )
-        return self.job_log
+
+    # -- fault recovery -----------------------------------------------------------------
+
+    def _run_worker_task(self, worker, make_attempt):
+        """Run one worker's portion of the current stage, with retries.
+
+        ``make_attempt()`` builds the attempt fresh — re-reading sources
+        from front-end storage and re-creating the sink — and returns
+        ``(run, abort)``: the closure to dispatch and a rollback undoing
+        any durable half-effects (partial output pages) of a failed try.
+        """
+        policy = self.retry_policy
+        stage = self._current_stage
+        stage_kind = stage.kind if stage is not None else "task"
+        attempts = 0
+        started = policy.clock()
+        while True:
+            attempts += 1
+            run, abort = make_attempt()
+
+            def attempt():
+                if self.faults is not None and \
+                        self.faults.should_crash_backend(
+                            worker.worker_id, stage_kind):
+                    from repro.errors import InjectedFaultError
+
+                    raise InjectedFaultError(
+                        "injected back-end crash on %s during %s"
+                        % (worker.worker_id, stage_kind)
+                    )
+                run()
+
+            try:
+                with self._task_span(worker) as span:
+                    if attempts > 1:
+                        span.inc("task.retry_attempt")
+                    worker.dispatch(attempt)
+                if attempts > 1:
+                    self.tracer.add("faults.tasks_recovered")
+                return
+            except WorkerCrashError as crash:
+                self.tracer.add("faults.backend_crashes")
+                if abort is not None:
+                    abort()
+                timed_out = policy.timed_out(started)
+                if timed_out or not policy.should_retry(attempts):
+                    self._fail_permanently(
+                        worker, stage, attempts, crash, timed_out
+                    )
+                backoff = policy.backoff_s(attempts)
+                with self.tracer.span(
+                    "retry", kind="retry",
+                    detail="%s on %s, attempt %d"
+                    % (stage_kind, worker.worker_id, attempts + 1),
+                ) as retry_span:
+                    retry_span.inc("retry.count")
+                    retry_span.inc(
+                        "retry.backoff_ms", max(1, int(backoff * 1000))
+                    )
+                    policy.sleep(backoff)
+
+    def _fail_permanently(self, worker, stage, attempts, crash, timed_out):
+        """A worker task is out of retries: blacklist or fail the job."""
+        policy = self.retry_policy
+        kind = stage.kind if stage is not None else "task"
+        detail = stage.detail if stage is not None else ""
+        why = "task timeout" if timed_out else "retries exhausted"
+        survivors = len(self.workers) - 1
+        if (
+            policy.blacklist_on_exhaustion
+            and survivors >= policy.min_surviving_workers
+        ):
+            raise WorkerLostError(
+                worker.worker_id,
+                "%s in stage %s (%s) after %d attempt(s): %s"
+                % (why, kind, detail, attempts, crash),
+            ) from crash
+        raise ExecutionError(
+            "stage %s (%s) failed permanently on worker %s "
+            "after %d attempt(s) (%s): %s"
+            % (kind, detail, worker.worker_id, attempts, why, crash)
+        ) from crash
+
+    def _degrade(self, lost):
+        """Blacklist a permanently-dead worker and restart the job.
+
+        Graceful degradation: the dead worker's durable partitions are
+        redistributed to its peers (the front-end storage survives the
+        back-end, so pages move as verbatim bytes), this job's partial
+        outputs are cleared, and the stage loop re-runs from the top over
+        the surviving workers.
+        """
+        moved = self.cluster.decommission_worker(
+            lost.worker_id, reason=lost.reason
+        )
+        self.tracer.event(
+            "blacklist", kind="fault",
+            detail="worker %s blacklisted (%s); %d page(s) redistributed"
+            % (lost.worker_id, lost.reason, moved),
+            counters={
+                "faults.workers_blacklisted": 1,
+                "faults.pages_redistributed": moved,
+            },
+        )
+        self.job_log.append(JobStage(
+            "WorkerBlacklistedEvent",
+            "%s decommissioned; job restarting on %d worker(s)"
+            % (lost.worker_id, len(self.workers)),
+        ))
+        # Restart from a clean slate: transient engines, checkpoints, and
+        # physical join decisions are all worker-count dependent.
+        self._release_engines()
+        self._checkpoints.clear()
+        self.join_modes.clear()
+        for statement in self.program.statements:
+            if isinstance(statement, OutputStmt):
+                key = (statement.database, statement.set_name)
+                if key in self.cluster.storage_manager:
+                    self.cluster.clear_set(*key)
 
     # -- segment execution helpers ------------------------------------------------------
 
@@ -137,7 +332,14 @@ class DistributedScheduler:
         self.job_log.append(stage)
         with self.tracer.span(kind, kind="stage", detail=detail) as span:
             stage.span = span
-            yield stage
+            self._current_stage = stage
+            try:
+                yield stage
+            finally:
+                self._current_stage = None
+        # Only reached when the stage completed: checkpoint its outputs
+        # so mid-job re-forks can rebuild engines without re-running it.
+        self._checkpoint_workers()
 
     def _task_span(self, worker):
         """The per-worker task span nested under the current stage."""
@@ -156,57 +358,70 @@ class DistributedScheduler:
                 segments[-1].append(stage)
         return segments
 
-    def _source_batches(self, worker, pipeline):
-        engine = self.engine_for(worker)
-        return engine._source_batches(pipeline)
+    def _scan_batches_factory(self, worker, pipeline):
+        """Fresh source batches for one attempt, off the current engine."""
+        return lambda: self.engine_for(worker)._source_batches(pipeline)
 
-    def _run_stages_collect(self, worker, stages, batches):
-        """Run ``stages`` over ``batches``; returns collected columns."""
-        engine = self.engine_for(worker)
-        columns = None
+    def _run_stages_collect(self, worker, stages, batches_factory):
+        """Run ``stages`` over fresh batches; returns collected columns."""
+        result = {}
 
-        def run():
-            nonlocal columns
-            for batch in batches:
-                engine.metrics.batches += 1
-                self.tracer.add("engine.batches")
-                self.tracer.add("engine.rows_in", len(batch))
-                current = batch
-                empty = False
-                for stage in stages:
-                    engine.metrics.stage_invocations += 1
-                    current = engine._apply_stage(stage, current)
-                    if len(current) == 0:
-                        empty = True
-                        break
-                if empty:
-                    continue
-                self.tracer.add("engine.rows_out", len(current))
-                if columns is None:
-                    columns = {name: [] for name in current.names()}
-                for name in columns:
-                    columns[name].extend(current.column(name))
+        def make_attempt():
+            acc = {"columns": None}
+            result["acc"] = acc
 
-        with self._task_span(worker):
-            worker.dispatch(run)
-        return columns or {}
+            def run():
+                engine = self.engine_for(worker)
+                for batch in batches_factory():
+                    engine.metrics.batches += 1
+                    self.tracer.add("engine.batches")
+                    self.tracer.add("engine.rows_in", len(batch))
+                    current = batch
+                    empty = False
+                    for stage in stages:
+                        engine.metrics.stage_invocations += 1
+                        current = engine._apply_stage(stage, current)
+                        if len(current) == 0:
+                            empty = True
+                            break
+                    if empty:
+                        continue
+                    self.tracer.add("engine.rows_out", len(current))
+                    if acc["columns"] is None:
+                        acc["columns"] = {
+                            name: [] for name in current.names()
+                        }
+                    for name in acc["columns"]:
+                        acc["columns"][name].extend(current.column(name))
 
-    def _run_stages_into_sink(self, worker, stages, batches, sink):
-        engine = self.engine_for(worker)
+            return run, None
 
-        def run():
-            for batch in batches:
-                engine.metrics.batches += 1
-                pipeline = _StagesView(stages)
-                engine._process_batch(pipeline, batch, sink)
-            sink.finish()
+        self._run_worker_task(worker, make_attempt)
+        return result["acc"]["columns"] or {}
 
-        with self._task_span(worker):
-            worker.dispatch(run)
+    def _run_stages_into_sink(self, worker, stages, batches_factory,
+                              sink_factory):
+        """Run ``stages`` into a per-attempt sink built by ``sink_factory``."""
+
+        def make_attempt():
+            sink = sink_factory(worker)
+
+            def run():
+                engine = sink.engine
+                for batch in batches_factory():
+                    engine.metrics.batches += 1
+                    pipeline = _StagesView(stages)
+                    engine._process_batch(pipeline, batch, sink)
+                sink.finish()
+
+            return run, sink.abort
+
+        self._run_worker_task(worker, make_attempt)
 
     def _shuffle_columns(self, per_worker_columns, hash_column):
         """Repartition rows by ``hash % n_workers``; returns per-worker columns."""
-        n = len(self.workers)
+        workers = self.workers
+        n = len(workers)
         received = [None] * n
         for src_index, columns in enumerate(per_worker_columns):
             if not columns:
@@ -224,8 +439,8 @@ class DistributedScheduler:
                     continue
                 rows = list(zip(*(bucket[name] for name in names)))
                 self.cluster.network.ship_rows(
-                    self.workers[src_index].worker_id,
-                    self.workers[dst_index].worker_id,
+                    workers[src_index].worker_id,
+                    workers[dst_index].worker_id,
                     rows,
                 )
                 target = received[dst_index]
@@ -251,16 +466,17 @@ class DistributedScheduler:
             last = index == len(segments) - 1
             next_columns = []
             for w_index, worker in enumerate(self.workers):
-                batches = batches_of(
-                    per_worker_columns[w_index], self.cluster.batch_size
-                )
+                def batches_factory(_cols=per_worker_columns[w_index]):
+                    return batches_of(_cols, self.cluster.batch_size)
+
                 if last:
-                    sink = sink_factory(worker)
-                    self._run_stages_into_sink(worker, segment, batches, sink)
-                else:
-                    next_columns.append(
-                        self._run_stages_collect(worker, segment, batches)
+                    self._run_stages_into_sink(
+                        worker, segment, batches_factory, sink_factory
                     )
+                else:
+                    next_columns.append(self._run_stages_collect(
+                        worker, segment, batches_factory
+                    ))
             per_worker_columns = next_columns
 
     def _run_distributed_pipeline(self, pipeline, sink_factory):
@@ -269,16 +485,17 @@ class DistributedScheduler:
         first, rest = segments[0], segments[1:]
         if not rest:
             for worker in self.workers:
-                sink = sink_factory(worker)
-                batches = self._source_batches(worker, pipeline)
-                self._run_stages_into_sink(worker, first, batches, sink)
+                self._run_stages_into_sink(
+                    worker, first,
+                    self._scan_batches_factory(worker, pipeline),
+                    sink_factory,
+                )
             return
         collected = []
         for worker in self.workers:
-            batches = self._source_batches(worker, pipeline)
-            collected.append(
-                self._run_stages_collect(worker, first, batches)
-            )
+            collected.append(self._run_stages_collect(
+                worker, first, self._scan_batches_factory(worker, pipeline)
+            ))
         self._probe_segments(pipeline, collected, rest, sink_factory)
 
     # -- per-sink handlers ------------------------------------------------------------------
@@ -296,7 +513,12 @@ class DistributedScheduler:
                 except SetNotFoundError:
                     continue
                 for page_id in page_set.page_ids:
-                    page = worker.storage.pool.pin(page_id)
+                    try:
+                        page = worker.storage.pool.pin(page_id)
+                    except PageReloadError:
+                        # An estimate tolerates a flaky reload; the scan
+                        # itself retries through the stage machinery.
+                        continue
                     total += page.block.used if page.block else 0
                     worker.storage.pool.unpin(page_id)
             return total
@@ -325,10 +547,10 @@ class DistributedScheduler:
         if mode == "broadcast":
             merged = {}
             for worker in self.workers:
-                sink = HashBuildSink(self.engine_for(worker), join)
-                batches = self._source_batches(worker, pipeline)
                 self._run_stages_into_sink(
-                    worker, pipeline.stages, batches, sink
+                    worker, pipeline.stages,
+                    self._scan_batches_factory(worker, pipeline),
+                    lambda w: HashBuildSink(self.engine_for(w), join),
                 )
                 table = self.engine_for(worker).hash_tables[join.output]
                 rows = [row for bucket in table.values() for row in bucket]
@@ -348,10 +570,10 @@ class DistributedScheduler:
         hash_column = join.right_hash if side == "right" else join.left_hash
         collected = []
         for worker in self.workers:
-            batches = self._source_batches(worker, pipeline)
-            collected.append(
-                self._run_stages_collect(worker, pipeline.stages, batches)
-            )
+            collected.append(self._run_stages_collect(
+                worker, pipeline.stages,
+                self._scan_batches_factory(worker, pipeline),
+            ))
         shuffled = self._shuffle_columns(collected, hash_column)
         columns_kept = (
             join.right_columns if side == "right" else join.left_columns
@@ -371,28 +593,23 @@ class DistributedScheduler:
         agg = pipeline.sink
         comp = self.program.computations[agg.computation]
         # Producing stage: per-worker pre-aggregation (pipelining threads).
-        sinks = {}
-
-        def make_sink(worker):
-            sink = AggregateSink(self.engine_for(worker), agg)
-            sinks[worker.worker_id] = sink
-            return sink
-
         with self._stage(
             "PipelineJobStage", "pre-aggregation for %s" % agg.output,
         ):
             self._run_distributed_pipeline(
-                pipeline, lambda worker: make_sink(worker)
+                pipeline,
+                lambda worker: AggregateSink(self.engine_for(worker), agg),
             )
 
         # Shuffle combiner pages: hash-partition the pre-aggregated keys.
-        n = len(self.workers)
+        workers = self.workers
+        n = len(workers)
         with self._stage(
             "AggregationJobStage",
             "shuffled merge for %s over %d partitions" % (agg.output, n),
         ):
             final_groups = [dict() for _ in range(n)]
-            for src_index, worker in enumerate(self.workers):
+            for src_index, worker in enumerate(workers):
                 engine = self.engine_for(worker)
                 store = engine.store.pop(agg.output, None)
                 if store is None:
@@ -404,10 +621,10 @@ class DistributedScheduler:
                     if not partition:
                         continue
                     self._ship_aggregate_partition(
-                        comp, worker, self.workers[dst_index], partition,
+                        comp, worker, workers[dst_index], partition,
                         final_groups[dst_index],
                     )
-            for w_index, worker in enumerate(self.workers):
+            for w_index, worker in enumerate(workers):
                 groups = final_groups[w_index]
                 self.tracer.add("agg.merged_keys", len(final_groups[w_index]))
                 self.engine_for(worker).store[agg.output] = {
@@ -529,7 +746,9 @@ class ClusterOutputSink(Sink):
 
     PC objects (handles / facades) are stored in place on set pages;
     plain Python values fall back to a worker-local Python list that the
-    client gathers on :meth:`PCCluster.scan`.
+    client gathers on :meth:`PCCluster.read`.  The sink records where the
+    partition stood at creation, so :meth:`abort` can roll a failed
+    attempt's half-written pages back before a retry.
     """
 
     def __init__(self, engine, output_stmt, page_set, cluster):
@@ -538,6 +757,10 @@ class ClusterOutputSink(Sink):
         self.page_set = page_set
         self.cluster = cluster
         self._writer = None
+        self._key = (output_stmt.database, output_stmt.set_name)
+        self._pages_mark = len(page_set.page_ids)
+        self._objects_mark = page_set.object_count
+        self._python_mark = len(cluster.python_outputs.get(self._key, ()))
 
     def _ensure_writer(self):
         if self._writer is None:
@@ -568,6 +791,17 @@ class ClusterOutputSink(Sink):
             self._writer.__exit__(None, None, None)
             self.engine.metrics.pages_written += len(self.page_set.page_ids)
 
+    def abort(self):
+        if self._writer is not None and self._writer._page is not None:
+            self.page_set.pool.free_page(self._writer._page.page_id)
+            self._writer._page = None
+            self._writer._root = None
+        self._writer = None
+        _rollback_pages(self.page_set, self._pages_mark, self._objects_mark)
+        outputs = self.cluster.python_outputs.get(self._key)
+        if outputs is not None:
+            del outputs[self._python_mark:]
+
 
 class MapPageOutputSink(Sink):
     """Writes aggregation pairs as a PC Map object in the destination set.
@@ -583,6 +817,8 @@ class MapPageOutputSink(Sink):
         self.page_set = page_set
         self.map_type = MapType(comp.key_type, comp.value_type)
         self.pairs = []
+        self._pages_mark = len(page_set.page_ids)
+        self._objects_mark = page_set.object_count
 
     def consume(self, batch):
         self.pairs.extend(batch.column(self.statement.column))
@@ -618,3 +854,14 @@ class MapPageOutputSink(Sink):
                     )
                 pending = pending[shipped:]
         self.engine.metrics.pages_written += len(self.page_set.page_ids)
+
+    def abort(self):
+        _rollback_pages(self.page_set, self._pages_mark, self._objects_mark)
+
+
+def _rollback_pages(page_set, pages_mark, objects_mark):
+    """Free every page a failed attempt appended past ``pages_mark``."""
+    for page_id in page_set.page_ids[pages_mark:]:
+        page_set.pool.free_page(page_id)
+    del page_set.page_ids[pages_mark:]
+    page_set.object_count = objects_mark

@@ -7,6 +7,11 @@ is where potentially-unsafe user code runs; if a user stage raises, the
 front-end "re-forks" it — the back-end's transient state (pipeline
 engines, hash tables, materialized stores) is discarded and rebuilt,
 while the front-end's storage and catalog survive untouched.
+
+The scheduler keys its per-job engine into :attr:`BackendProcess.engines`
+and must call :meth:`BackendProcess.release_job` when the job finishes;
+otherwise engines of finished jobs would accumulate across executions
+(and a recycled job key could silently reuse a stale engine).
 """
 
 from __future__ import annotations
@@ -21,7 +26,8 @@ class BackendProcess:
 
     def __init__(self, worker):
         self.worker = worker
-        #: transient per-execution state, wiped on re-fork
+        #: transient per-job state, keyed by job: wiped on re-fork,
+        #: released per job when its scheduler finishes
         self.engines = {}
         self.crashed = False
 
@@ -36,19 +42,24 @@ class BackendProcess:
                 % (self.worker.worker_id, exc)
             ) from exc
 
+    def release_job(self, job_key):
+        """Drop the transient engine of a finished job, if any."""
+        self.engines.pop(job_key, None)
+
 
 class WorkerNode:
     """One simulated worker: front-end process + forked back-end."""
 
     def __init__(self, worker_id, master_catalog, capacity_bytes,
-                 page_size, spill_dir=None, tracer=None):
+                 page_size, spill_dir=None, tracer=None,
+                 fault_injector=None):
         self.worker_id = worker_id
         # Front-end components (survive backend crashes).
         self.local_catalog = LocalCatalog(master_catalog)
         self.storage = LocalStorageServer(
             worker_id, capacity_bytes, page_size=page_size,
             registry=self.local_catalog.registry, spill_dir=spill_dir,
-            tracer=tracer,
+            tracer=tracer, fault_injector=fault_injector,
         )
         self.backend = BackendProcess(self)
         self.refork_count = 0
@@ -60,7 +71,8 @@ class WorkerNode:
 
         On a crash the front-end re-forks the back-end (fresh transient
         state) before re-raising, so the worker stays usable — the paper's
-        rationale for the dual-process design.
+        rationale for the dual-process design.  Recovery (re-dispatching
+        the failed portion) is the scheduler's job, via its RetryPolicy.
         """
         try:
             return self.backend.run_user_code(fn, *args, **kwargs)
@@ -69,7 +81,13 @@ class WorkerNode:
             raise
 
     def refork_backend(self):
-        """Replace a crashed back-end with a fresh one."""
+        """Replace a crashed back-end with a fresh one.
+
+        The new backend starts with an empty :attr:`BackendProcess.engines`
+        map, so any engine a still-running job had registered is gone —
+        the scheduler rebuilds it (restoring checkpointed stage outputs)
+        on the next ``engine_for`` call.
+        """
         self.backend = BackendProcess(self)
         self.refork_count += 1
 

@@ -67,6 +67,19 @@ class Computation:
         """Arg placeholders handed to the lambda construction functions."""
         return [Arg(i) for i in range(self.arity)]
 
+    def execute(self, cluster, **kwargs):
+        """Run the graph this computation terminates, on ``cluster``.
+
+        The fluent client entry point::
+
+            Writer("db", "out").set_input(agg).execute(cluster)
+
+        Keyword arguments pass through to
+        ``PCCluster.execute_computations`` (``optimized``, ``job_name``,
+        ``build_side_overrides``); returns the scheduler's job log.
+        """
+        return cluster.execute_computations(self, **kwargs)
+
     def __repr__(self):
         return "<%s %s>" % (type(self).__name__, self.name)
 

@@ -54,8 +54,10 @@ class LocalInterpreter:
     def _vlist(self, name):
         try:
             return self.env[name]
-        except KeyError:
-            raise ExecutionError("vector list %r not materialized" % name)
+        except KeyError as missing:
+            raise ExecutionError(
+                "vector list %r not materialized" % name
+            ) from missing
 
     # -- statement handlers ---------------------------------------------------------
 

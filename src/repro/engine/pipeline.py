@@ -271,6 +271,15 @@ class Sink:
     def finish(self):
         """Flush at end of pipeline."""
 
+    def abort(self):
+        """Undo any *durable* half-effects of a failed attempt.
+
+        Called by the scheduler's retry machinery after a back-end crash,
+        before the task is re-dispatched into a fresh sink.  Sinks whose
+        state is engine-transient (discarded with the re-forked back-end)
+        need do nothing; page-writing sinks roll their partial pages back.
+        """
+
 
 class HashBuildSink(Sink):
     """Builds the hash table for a join's build side."""
@@ -365,6 +374,8 @@ class PageOutputSink(Sink):
         super().__init__(engine)
         self.statement = output_stmt
         self.page_set = page_set
+        self._pages_mark = len(page_set.page_ids)
+        self._objects_mark = page_set.object_count
         self.writer = page_set.writer().__enter__()
 
     def allocation_block(self):
@@ -389,3 +400,13 @@ class PageOutputSink(Sink):
     def finish(self):
         self.writer.__exit__(None, None, None)
         self.engine.metrics.pages_written += len(self.page_set.page_ids)
+
+    def abort(self):
+        if self.writer._page is not None:
+            self.page_set.pool.free_page(self.writer._page.page_id)
+            self.writer._page = None
+            self.writer._root = None
+        for page_id in self.page_set.page_ids[self._pages_mark:]:
+            self.page_set.pool.free_page(page_id)
+        del self.page_set.page_ids[self._pages_mark:]
+        self.page_set.object_count = self._objects_mark

@@ -40,11 +40,11 @@ class VectorList:
     def column(self, name):
         try:
             return self.columns[name]
-        except KeyError:
+        except KeyError as missing:
             raise ExecutionError(
                 "vector list has no column %r (has %s)"
                 % (name, sorted(self.columns))
-            )
+            ) from missing
 
     def shallow_copy(self, names):
         """A new vector list sharing the selected column objects.

@@ -84,6 +84,15 @@ class SetNotFoundError(StorageError):
     """A set name did not exist in the given database."""
 
 
+class PageReloadError(StorageError):
+    """A spilled page could not be reloaded into the buffer pool.
+
+    Raised on an (injected or real) I/O fault while reading a spill file.
+    The spill file itself survives, so the reload can be retried — inside
+    a job the scheduler's stage retry does exactly that.
+    """
+
+
 class LambdaError(PCError):
     """Base class for errors in the lambda-calculus layer."""
 
@@ -120,6 +129,30 @@ class WorkerCrashError(ClusterError):
     The front-end process catches this and re-forks the back end, mirroring
     the dual-process design of Section 2.
     """
+
+
+class InjectedFaultError(ClusterError):
+    """A deterministic fault fired by a :class:`~repro.cluster.FaultInjector`."""
+
+
+class TransferDroppedError(ClusterError):
+    """A network transfer was dropped and its retry budget is exhausted."""
+
+
+class WorkerLostError(ClusterError):
+    """A worker exhausted its retry budget and was declared permanently dead.
+
+    Internal control-flow signal: the scheduler catches it, blacklists the
+    worker, redistributes its durable partitions, and restarts the job on
+    the survivors (when the :class:`~repro.cluster.RetryPolicy` allows).
+    """
+
+    def __init__(self, worker_id, reason):
+        super().__init__(
+            "worker %r lost: %s" % (worker_id, reason)
+        )
+        self.worker_id = worker_id
+        self.reason = reason
 
 
 class LinAlgError(PCError):

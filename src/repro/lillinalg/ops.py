@@ -106,7 +106,7 @@ class DistributedMatrix:
     def to_numpy(self):
         """Gather all blocks to the client and assemble the full matrix."""
         out = np.zeros((self.n_rows, self.n_cols))
-        for handle in self.cluster.scan(self.database, self.set_name):
+        for handle in self.cluster.read(self.database, self.set_name):
             view = handle.deref()
             r0 = view.block_row * self.block_rows
             c0 = view.block_col * self.block_cols
@@ -137,8 +137,8 @@ class DistributedMatrix:
         out_set = _fresh_set_name("agg")
         writer = Writer(self.database, out_set).set_input(agg)
         self.cluster.execute_computations(writer)
-        merged = self.cluster.read_aggregate_set(
-            self.database, out_set, comp=agg
+        merged = self.cluster.read(
+            self.database, out_set, as_pairs=True, comp=agg
         )
         result_set = _fresh_set_name("mat")
         self.cluster.create_set(self.database, result_set, MatrixBlock)
@@ -398,7 +398,7 @@ class DistributedMatrix:
         out_set = _fresh_set_name("sc")
         writer = Writer(self.database, out_set).set_input(agg)
         self.cluster.execute_computations(writer)
-        merged = self.cluster.read_aggregate_set(self.database, out_set)
+        merged = self.cluster.read(self.database, out_set, as_pairs=True)
         self.cluster.drop_set(self.database, out_set)
         values = list(merged.values())
         result = values[0]

@@ -143,8 +143,10 @@ def primitive_by_name(name):
     """Look up a primitive descriptor by its registry name."""
     try:
         return _PRIMITIVES_BY_NAME[name]
-    except KeyError:
-        raise TypeRegistrationError("unknown primitive type %r" % name)
+    except KeyError as missing:
+        raise TypeRegistrationError(
+            "unknown primitive type %r" % name
+        ) from missing
 
 
 #: numpy dtype strings for primitives, used for the zero-copy

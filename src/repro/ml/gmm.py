@@ -141,7 +141,7 @@ class PCGmm:
 
     def initialize(self, k, seed=0):
         """Random initialization matching the baseline's algorithm."""
-        chunks = self.cluster.scan(self.database, self.set_name)
+        chunks = self.cluster.read(self.database, self.set_name)
         sample = chunks[0].deref().get_points()
         rng = np.random.default_rng(seed)
         chosen = rng.choice(
@@ -168,8 +168,8 @@ class PCGmm:
             self.cluster.clear_set(self.database, out_set)
         writer = Writer(self.database, out_set).set_input(agg)
         self.cluster.execute_computations(writer)
-        merged = self.cluster.read_aggregate_set(
-            self.database, out_set, comp=agg
+        merged = self.cluster.read(
+            self.database, out_set, as_pairs=True, comp=agg
         )
 
         total = sum(value[0] for value in merged.values())

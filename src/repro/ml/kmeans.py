@@ -120,7 +120,7 @@ class PCKMeans:
     def initialize(self, k, seed=0):
         """Random initial centroids drawn from stored chunks."""
         rng = np.random.default_rng(seed)
-        chunks = self.cluster.scan(self.database, self.set_name)
+        chunks = self.cluster.read(self.database, self.set_name)
         if not chunks:
             raise PCError("no points loaded")
         sample = chunks[0].deref().get_points()
@@ -139,8 +139,8 @@ class PCKMeans:
             self.cluster.clear_set(self.database, out_set)
         writer = Writer(self.database, out_set).set_input(agg)
         self.cluster.execute_computations(writer)
-        merged = self.cluster.read_aggregate_set(
-            self.database, out_set, comp=agg
+        merged = self.cluster.read(
+            self.database, out_set, as_pairs=True, comp=agg
         )
         new_centers = np.asarray(centers).copy()
         for j, value in merged.items():

@@ -200,11 +200,11 @@ class PCLda:
                 cluster.clear_set(self.database, name)
         writers, doc_agg, word_agg = self.build_iteration_graph()
         cluster.execute_computations(writers)
-        doc_counts = cluster.read_aggregate_set(
-            self.database, "doc_counts", comp=doc_agg
+        doc_counts = cluster.read(
+            self.database, "doc_counts", as_pairs=True, comp=doc_agg
         )
-        word_counts = cluster.read_aggregate_set(
-            self.database, "word_counts", comp=word_agg
+        word_counts = cluster.read(
+            self.database, "word_counts", as_pairs=True, comp=word_agg
         )
         rng = np.random.default_rng(self.seed + 7919 * (self._iteration + 1))
         theta = {

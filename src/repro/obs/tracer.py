@@ -150,3 +150,16 @@ class Tracer:
             stack_top.counters[counter] = (
                 stack_top.counters.get(counter, 0) + value
             )
+
+    def event(self, name, kind="event", detail=None, counters=None):
+        """Record an instantaneous child span carrying ``counters``.
+
+        Used for point-in-time facts that deserve their own node in the
+        trace tree — a worker blacklisted, a partition redistributed —
+        rather than a bare counter on whatever span happens to be open.
+        Returns the recorded span.
+        """
+        with self.span(name, kind=kind, detail=detail) as span:
+            for counter, value in (counters or {}).items():
+                span.inc(counter, value)
+        return span

@@ -16,7 +16,7 @@ import os
 import tempfile
 from collections import OrderedDict
 
-from repro.errors import BufferPoolExhaustedError, StorageError
+from repro.errors import BufferPoolExhaustedError, PageReloadError, StorageError
 from repro.obs import Tracer
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 
@@ -25,13 +25,15 @@ class BufferPool:
     """Fixed-budget page cache with pinning and LRU spill."""
 
     def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
-                 registry=None, spill_dir=None, tracer=None):
+                 registry=None, spill_dir=None, tracer=None,
+                 fault_injector=None):
         if capacity_bytes < page_size:
             raise StorageError("buffer pool smaller than one page")
         self.capacity_bytes = capacity_bytes
         self.page_size = page_size
         self.registry = registry
         self.tracer = tracer or Tracer()
+        self.fault_injector = fault_injector
         self._pages = {}  # page_id -> Page
         self._lru = OrderedDict()  # page_id -> None, oldest first
         self._next_page_id = 1
@@ -46,6 +48,7 @@ class BufferPool:
         self.evictions = 0
         self.spills = 0
         self.reloads = 0
+        self.reload_failures = 0
         self.pages_created = 0
         self.pins = 0
 
@@ -156,6 +159,17 @@ class BufferPool:
             raise StorageError(
                 "page %d is neither in memory nor spilled" % page.page_id
             )
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.should_fail_reload(page.page_id)
+        ):
+            # The spill file is untouched, so a later pin can retry the
+            # reload — inside a job the scheduler's stage retry does.
+            self.reload_failures += 1
+            self.tracer.add("pool.reload_failures")
+            raise PageReloadError(
+                "injected I/O fault reloading spilled page %d" % page.page_id
+            )
         # Guard against re-entrancy: if the page still sits in the LRU
         # (pin_count 0, bytes dropped), _make_room below could pick it as
         # its own eviction victim — double-decrementing the budget and
@@ -191,5 +205,6 @@ class BufferPool:
             "evictions": self.evictions,
             "spills": self.spills,
             "reloads": self.reloads,
+            "reload_failures": self.reload_failures,
             "pins": self.pins,
         }

@@ -149,12 +149,12 @@ class SetWriter:
                 handle.release()
                 self.page_set.object_count += 1
                 return
-            except BlockFullError:
+            except BlockFullError as full:
                 if attempt:
                     raise StorageError(
                         "a single object does not fit on an empty %d-byte page"
                         % self.page_set.page_size
-                    )
+                    ) from full
                 self._seal_page()
                 self._open_page()
 
@@ -175,11 +175,11 @@ class SetWriter:
                 handle.release()
                 self.page_set.object_count += 1
                 return
-            except BlockFullError:
+            except BlockFullError as full:
                 if attempt:
                     raise StorageError(
                         "a single object does not fit on an empty %d-byte page"
                         % self.page_set.page_size
-                    )
+                    ) from full
                 self._seal_page()
                 self._open_page()

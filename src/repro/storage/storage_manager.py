@@ -20,13 +20,19 @@ class LocalStorageServer:
     """One worker's storage: a buffer pool and its set partitions."""
 
     def __init__(self, worker_id, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
-                 registry=None, spill_dir=None, tracer=None):
+                 registry=None, spill_dir=None, tracer=None,
+                 fault_injector=None):
         self.worker_id = worker_id
         self.pool = BufferPool(
             capacity_bytes, page_size=page_size, registry=registry,
             spill_dir=spill_dir, tracer=tracer,
+            fault_injector=fault_injector,
         )
         self._sets = {}  # (db, set) -> PageSet
+
+    def sets(self):
+        """All local partitions, as ``((db, name), PageSet)`` pairs."""
+        return list(self._sets.items())
 
     def create_set(self, database, name, type_name=None, page_size=None):
         """Create the local partition of a set; idempotent."""
@@ -80,6 +86,18 @@ class DistributedStorageManager:
     def attach_server(self, server):
         """Register a worker's local storage server."""
         self._servers[server.worker_id] = server
+
+    def detach_server(self, worker_id):
+        """Remove a (decommissioned) worker's storage server.
+
+        The caller is responsible for having redistributed the worker's
+        partitions first; after detaching, ``partitions`` and the loader's
+        round-robin routing see only the surviving workers.
+        """
+        self._servers.pop(worker_id, None)
+        # Rebuild the routing cycles so new pages land on survivors only.
+        for key in self._round_robin:
+            self._round_robin[key] = itertools.cycle(self.worker_ids)
 
     @property
     def worker_ids(self):

@@ -81,8 +81,10 @@ def _info(token, line_no):
     token = token.strip()
     try:
         pairs = ast.literal_eval(token)
-    except (SyntaxError, ValueError):
-        raise TcapParseError("bad key-value map %r" % token, line_no)
+    except (SyntaxError, ValueError) as bad:
+        raise TcapParseError(
+            "bad key-value map %r" % token, line_no
+        ) from bad
     return {str(k): v for k, v in pairs}
 
 

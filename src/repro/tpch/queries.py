@@ -103,7 +103,7 @@ def customers_per_supplier_pc(cluster, database="tpch",
         cluster.clear_set(database, out_set)
     writer = Writer(database, out_set).set_input(agg)
     cluster.execute_computations(writer)
-    result = cluster.read_aggregate_set(database, out_set, comp=agg)
+    result = cluster.read(database, out_set, as_pairs=True, comp=agg)
     total_customers = sum(len(v) for v in result.values())
     return result, total_customers
 
@@ -182,7 +182,7 @@ def top_k_jaccard_pc(cluster, k, query_parts, database="tpch",
         cluster.clear_set(database, out_set)
     writer = Writer(database, out_set).set_input(top)
     cluster.execute_computations(writer)
-    merged = cluster.read_aggregate_set(database, out_set)
+    merged = cluster.read(database, out_set, as_pairs=True)
     candidates = merged.get(0, [])
     return sorted(candidates, key=lambda c: (-c[0], c[1]))[:k]
 

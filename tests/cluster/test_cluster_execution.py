@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import PCCluster
+from repro.cluster import PCCluster, RetryPolicy
 from repro.core import (
     AggregateComp,
     JoinComp,
@@ -12,7 +12,7 @@ from repro.core import (
     lambda_from_member,
     lambda_from_native,
 )
-from repro.errors import WorkerCrashError
+from repro.errors import ExecutionError
 from repro.memory import Float64, Int32, Int64, PCObject, String
 
 
@@ -74,7 +74,7 @@ def test_distributed_aggregation_with_map_shuffle(cluster):
     writer = Writer("db", "sums").set_input(agg)
     cluster.execute_computations(writer)
 
-    result = cluster.read_aggregate_set("db", "sums", comp=agg)
+    result = cluster.read("db", "sums", as_pairs=True, comp=agg)
     expected = {}
     for i in range(200):
         expected[i % 4] = expected.get(i % 4, 0.0) + float(i)
@@ -100,9 +100,8 @@ def test_distributed_selection_writes_pc_objects(cluster):
 
     reader = ObjectReader("db", "points")
     sel = HighX().set_input(reader)
-    writer = Writer("db", "high").set_input(sel)
-    cluster.execute_computations(writer)
-    values = sorted(h.pid for h in cluster.scan("db", "high"))
+    Writer("db", "high").set_input(sel).execute(cluster)
+    values = sorted(h.pid for h in cluster.read("db", "high"))
     assert values == list(range(151, 200))
 
 
@@ -133,7 +132,7 @@ def test_distributed_join_broadcast_and_partition(cluster):
         join = LabelJoin().set_input(0, reader_l).set_input(1, reader_p)
         writer = Writer("db", "joined").set_input(join)
         cluster.execute_computations(writer)
-        return sorted(cluster.scan("db", "joined"))
+        return sorted(cluster.read("db", "joined"))
 
     broadcast_result = run(threshold=1 << 30)
     partition_result = run(threshold=0)
@@ -143,7 +142,13 @@ def test_distributed_join_broadcast_and_partition(cluster):
     assert partition_result[-60:] == expected
 
 
-def test_worker_backend_refork_on_crash(cluster):
+def test_worker_backend_refork_on_crash(tmp_path):
+    # Retries disabled: one crash means one re-fork and a permanent
+    # ExecutionError naming the stage and worker.
+    cluster = PCCluster(
+        n_workers=3, page_size=1 << 12, spill_root=str(tmp_path),
+        retry_policy=RetryPolicy.disabled(),
+    )
     _load_points(cluster, n=10)
 
     class Exploding(SelectionComp):
@@ -156,9 +161,29 @@ def test_worker_backend_refork_on_crash(cluster):
     reader = ObjectReader("db", "points")
     writer = Writer("db", "out").set_input(Exploding().set_input(reader))
     before = [w.refork_count for w in cluster.workers]
-    with pytest.raises(WorkerCrashError):
+    with pytest.raises(ExecutionError, match="worker-0"):
         cluster.execute_computations(writer)
     after = [w.refork_count for w in cluster.workers]
     assert sum(after) == sum(before) + 1
     # The front-end survived: storage is still readable.
     assert cluster.storage_manager.total_objects("db", "points") == 10
+
+
+def test_deterministic_bug_exhausts_default_retries(cluster):
+    # The default policy retries; a deterministic user-code bug crashes
+    # every attempt, so the job fails with the chained crash as cause.
+    _load_points(cluster, n=10)
+
+    class Exploding(SelectionComp):
+        def get_projection(self, arg):
+            def boom(p):
+                raise RuntimeError("user code bug")
+
+            return lambda_from_native([arg], boom)
+
+    reader = ObjectReader("db", "points")
+    writer = Writer("db", "out").set_input(Exploding().set_input(reader))
+    with pytest.raises(ExecutionError, match="retries exhausted"):
+        cluster.execute_computations(writer)
+    attempts = cluster.retry_policy.max_attempts
+    assert sum(w.refork_count for w in cluster.workers) == attempts

@@ -57,7 +57,7 @@ def test_partial_page_ships_exactly_once(cluster):
     assert load.pages_shipped == 1  # context-exit flush shipped nothing new
     assert cluster.network.stats()["messages"] == 1
     assert cluster.storage_manager.total_objects("db", "wide") == 3
-    values = sorted(h.pid for h in cluster.scan("db", "wide"))
+    values = sorted(h.pid for h in cluster.read("db", "wide"))
     assert values == [0, 1, 2]
 
 

@@ -1,6 +1,6 @@
 """Unknown-name lookups must fail loudly, not return empty results.
 
-The seed code's ``PCCluster.scan`` (and the join-planning size probe)
+The seed code's scan path (now ``PCCluster.read``) (and the join-planning size probe)
 swallowed every exception, so a typo'd database or set name silently
 produced ``[]`` — and downstream "my aggregate is empty" confusion.
 """
@@ -29,23 +29,23 @@ def cluster(tmp_path):
     return c
 
 
-def test_scan_unknown_set_raises_storage_error(cluster):
+def test_read_unknown_set_raises_storage_error(cluster):
     with pytest.raises(StorageError):
-        cluster.scan("db", "poinst")  # typo'd set name
+        cluster.read("db", "poinst")  # typo'd set name
 
 
-def test_scan_unknown_database_raises_storage_error(cluster):
+def test_read_unknown_database_raises_storage_error(cluster):
     with pytest.raises(SetNotFoundError):
-        cluster.scan("bd", "points")  # typo'd database name
+        cluster.read("bd", "points")  # typo'd database name
 
 
-def test_read_aggregate_set_propagates_unknown_set(cluster):
+def test_read_as_pairs_propagates_unknown_set(cluster):
     with pytest.raises(StorageError):
-        cluster.read_aggregate_set("db", "no_such_set")
+        cluster.read("db", "no_such_set", as_pairs=True)
 
 
-def test_scan_known_set_still_works(cluster):
-    assert sorted(h.pid for h in cluster.scan("db", "points")) == \
+def test_read_known_set_still_works(cluster):
+    assert sorted(h.pid for h in cluster.read("db", "points")) == \
         list(range(10))
 
 
@@ -63,7 +63,7 @@ def test_python_value_outputs_still_gathered_after_execution(cluster):
         Small().set_input(ObjectReader("db", "points"))
     )
     cluster.execute_computations(writer)
-    assert sorted(cluster.scan("db", "small")) == [0, 1, 2]
+    assert sorted(cluster.read("db", "small")) == [0, 1, 2]
 
 
 def test_unknown_join_source_keeps_default_build_side(cluster):

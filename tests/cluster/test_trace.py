@@ -20,7 +20,7 @@ from repro.core import (
     lambda_from_member,
     lambda_from_native,
 )
-from repro.errors import WorkerCrashError
+from repro.errors import ExecutionError
 from repro.memory import Float64, Int32, Int64, PCObject, String
 from repro.obs import render_trace
 
@@ -182,12 +182,16 @@ def test_failed_job_still_leaves_a_partial_trace(cluster):
     writer = Writer("db", "out").set_input(
         Exploding().set_input(ObjectReader("db", "points"))
     )
-    with pytest.raises(WorkerCrashError):
+    with pytest.raises(ExecutionError):
         cluster.execute_computations(writer, job_name="doomed")
     trace = cluster.last_trace
     assert trace is not None
     assert trace.root.name == "doomed"
     assert all(span.end is not None for span in trace.root.walk())
+    # Retries were attempted (and traced) before giving up.
+    retry_spans = trace.spans(kind="retry")
+    assert retry_spans
+    assert retry_spans[0].counters.get("retry.backoff_ms", 0) >= 1
 
 
 def test_render_trace_is_printable(cluster):

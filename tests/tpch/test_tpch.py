@@ -34,7 +34,7 @@ def customers():
 
 def test_pc_nested_customers_survive_page_movement(cluster, customers):
     """Loaded trees read back identical to the generator's records."""
-    scanned = {h.cust_key: h for h in cluster.scan("tpch", "customers")}
+    scanned = {h.cust_key: h for h in cluster.read("tpch", "customers")}
     assert len(scanned) == 40
     for oracle in customers:
         handle = scanned[oracle.cust_key]
