@@ -1,10 +1,19 @@
 """Catalog subsystem: cluster metadata and dynamic type distribution."""
 
 from repro.catalog.catalog import (
+    CatalogJournal,
     CatalogManager,
     LocalCatalog,
+    PageRecord,
     SetMetadata,
     SharedLibrary,
 )
 
-__all__ = ["CatalogManager", "LocalCatalog", "SetMetadata", "SharedLibrary"]
+__all__ = [
+    "CatalogJournal",
+    "CatalogManager",
+    "LocalCatalog",
+    "PageRecord",
+    "SetMetadata",
+    "SharedLibrary",
+]

@@ -19,6 +19,8 @@ codes, which is exactly the observable behaviour of the ``.so`` protocol.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 
 from repro.errors import CatalogError, UnknownTypeCodeError
@@ -41,30 +43,130 @@ class SharedLibrary:
         )
 
 
+class PageRecord:
+    """The catalog's authoritative record of one stored page.
+
+    ``replicas`` is the ordered list of ``[worker_id, local_page_id]``
+    copies; the first *live* entry serves reads.  ``primary`` remembers
+    the worker the page was originally placed on, so a read served by any
+    other worker counts as a failover read even after the replica list
+    has been healed.  ``checksum`` is the CRC32 stamped when the page was
+    sealed — the integrity reference every copy is verified against.
+    """
+
+    __slots__ = ("uid", "replicas", "checksum", "count", "primary")
+
+    def __init__(self, uid, replicas, checksum, count, primary):
+        self.uid = uid
+        self.replicas = [list(r) for r in replicas]
+        self.checksum = checksum
+        self.count = count
+        self.primary = primary
+
+    def workers(self):
+        return [worker_id for worker_id, _pid in self.replicas]
+
+    def to_record(self):
+        return {
+            "uid": self.uid,
+            "replicas": [list(r) for r in self.replicas],
+            "checksum": self.checksum,
+            "count": self.count,
+            "primary": self.primary,
+        }
+
+
 class SetMetadata:
     """Catalog record for one stored set."""
 
-    def __init__(self, database, name, type_name, partitions):
+    def __init__(self, database, name, type_name, partitions,
+                 replication=1, page_size=None):
         self.database = database
         self.name = name
         self.type_name = type_name
         #: worker ids holding partitions of the set.
         self.partitions = list(partitions)
+        #: copies kept of every page (1 = no redundancy).
+        self.replication = replication
+        self.page_size = page_size
+        #: page uid -> :class:`PageRecord`, in load order (dicts preserve
+        #: insertion order, which fixes the scan order of the set).
+        self.pages = {}
+        self._page_seq = 0
 
     @property
     def qualified_name(self):
         return "%s.%s" % (self.database, self.name)
 
+    def next_page_uid(self):
+        uid = "p%06d" % self._page_seq
+        self._page_seq += 1
+        return uid
+
+    def note_replayed_uid(self, uid):
+        """Keep the uid sequence monotonic across a journal replay."""
+        try:
+            seq = int(uid.lstrip("p"), 10)
+        except ValueError:
+            return
+        self._page_seq = max(self._page_seq, seq + 1)
+
+
+class CatalogJournal:
+    """Write-ahead journal of DDL and replica-map mutations.
+
+    One JSON record per line, appended and flushed *before* the in-memory
+    catalog mutation it describes, so a master crash between the two
+    leaves the journal ahead of (never behind) the catalog —
+    :meth:`CatalogManager.replay_journal` then reconstructs a state that
+    includes every acknowledged mutation.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self.records_written = 0
+
+    def append(self, record):
+        with open(self.path, "a") as f:
+            f.write(json.dumps(record, sort_keys=True))
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        self.records_written += 1
+
+    def entries(self):
+        """All journal records, oldest first ([] for a fresh journal)."""
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
 
 class CatalogManager:
     """The master catalog: authoritative type codes and set metadata."""
 
-    def __init__(self):
+    def __init__(self, journal=None):
         self.registry = TypeRegistry()
         self._libraries = {}  # type code -> SharedLibrary
         self._databases = {}  # db name -> {set name -> SetMetadata}
         self._lock = threading.Lock()
         self.library_requests = 0
+        #: optional :class:`CatalogJournal` making DDL crash-consistent.
+        self.journal = journal
+        self._replaying = False
+
+    def _journal(self, record):
+        """Append a WAL record (no-op without a journal or during replay)."""
+        if self.journal is not None and not self._replaying:
+            self.journal.append(record)
 
     # -- type registration -----------------------------------------------------
 
@@ -120,9 +222,12 @@ class CatalogManager:
     def create_database(self, name):
         """Create a database namespace; idempotent."""
         with self._lock:
-            self._databases.setdefault(name, {})
+            if name not in self._databases:
+                self._journal({"op": "create_database", "db": name})
+                self._databases[name] = {}
 
-    def create_set(self, database, name, type_name, partitions):
+    def create_set(self, database, name, type_name, partitions,
+                   replication=1, page_size=None):
         """Record a new set partitioned over ``partitions`` (worker ids)."""
         with self._lock:
             if database not in self._databases:
@@ -132,14 +237,146 @@ class CatalogManager:
                 raise CatalogError(
                     "set %r already exists in database %r" % (name, database)
                 )
-            meta = SetMetadata(database, name, type_name, partitions)
+            self._journal({
+                "op": "create_set", "db": database, "set": name,
+                "type": type_name, "partitions": list(partitions),
+                "replication": replication, "page_size": page_size,
+            })
+            meta = SetMetadata(database, name, type_name, partitions,
+                               replication=replication, page_size=page_size)
             sets[name] = meta
             return meta
 
     def drop_set(self, database, name):
         """Remove a set's metadata."""
         with self._lock:
+            if name in self._databases.get(database, {}):
+                self._journal({"op": "drop_set", "db": database, "set": name})
             self._databases.get(database, {}).pop(name, None)
+
+    # -- replica-map bookkeeping ---------------------------------------------------
+
+    def record_page(self, database, name, replicas, checksum, count,
+                    primary=None, uid=None):
+        """Record one newly stored page and its replica placement.
+
+        Returns the page's :class:`PageRecord`.  ``replicas`` is the
+        ordered ``(worker_id, local_page_id)`` placement; ``checksum`` is
+        the CRC32 of the sealed bytes; ``count`` the objects on the page.
+        """
+        with self._lock:
+            meta = self._set_metadata_locked(database, name)
+            if uid is None:
+                uid = meta.next_page_uid()
+            else:
+                meta.note_replayed_uid(uid)
+            if primary is None:
+                primary = replicas[0][0]
+            record = PageRecord(uid, replicas, checksum, count, primary)
+            self._journal({
+                "op": "record_page", "db": database, "set": name,
+                **record.to_record(),
+            })
+            meta.pages[uid] = record
+            return record
+
+    def update_page_replicas(self, database, name, uid, replicas):
+        """Replace a page's replica list (quarantine, heal, re-replicate)."""
+        with self._lock:
+            meta = self._set_metadata_locked(database, name)
+            record = meta.pages[uid]
+            self._journal({
+                "op": "update_page", "db": database, "set": name,
+                "uid": uid, "replicas": [list(r) for r in replicas],
+            })
+            record.replicas = [list(r) for r in replicas]
+            return record
+
+    def clear_pages(self, database, name):
+        """Forget every page record of a set (the set was cleared)."""
+        with self._lock:
+            meta = self._set_metadata_locked(database, name)
+            if meta.pages:
+                self._journal({
+                    "op": "clear_pages", "db": database, "set": name,
+                })
+            meta.pages = {}
+
+    def set_partitions(self, database, name, partitions):
+        """Replace a set's partition worker list (decommission/kill)."""
+        with self._lock:
+            meta = self._set_metadata_locked(database, name)
+            self._journal({
+                "op": "set_partitions", "db": database, "set": name,
+                "partitions": list(partitions),
+            })
+            meta.partitions = list(partitions)
+
+    def _set_metadata_locked(self, database, name):
+        try:
+            return self._databases[database][name]
+        except KeyError:
+            raise CatalogError(
+                "unknown set %s.%s" % (database, name)
+            ) from None
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def replay_journal(self):
+        """Rebuild all DDL and replica-map state from the journal.
+
+        Simulates the master restart of a crash-consistent catalog: the
+        in-memory database/set records are discarded and reconstructed
+        record-by-record from the write-ahead journal.  The type registry
+        is untouched — the paper's catalog stores its shared libraries
+        durably, and replaying DDL must not orphan registered type codes.
+        Returns the number of journal records applied.
+        """
+        if self.journal is None:
+            raise CatalogError("catalog has no journal to replay")
+        records = self.journal.entries()
+        with self._lock:
+            self._databases = {}
+        self._replaying = True
+        try:
+            for record in records:
+                self._apply_journal_record(record)
+        finally:
+            self._replaying = False
+        return len(records)
+
+    def _apply_journal_record(self, record):
+        op = record["op"]
+        if op == "create_database":
+            self.create_database(record["db"])
+        elif op == "create_set":
+            self.create_set(
+                record["db"], record["set"], record["type"],
+                record["partitions"],
+                replication=record.get("replication", 1),
+                page_size=record.get("page_size"),
+            )
+        elif op == "drop_set":
+            self.drop_set(record["db"], record["set"])
+        elif op == "record_page":
+            self.record_page(
+                record["db"], record["set"], record["replicas"],
+                record["checksum"], record["count"],
+                primary=record.get("primary"), uid=record["uid"],
+            )
+        elif op == "update_page":
+            self.update_page_replicas(
+                record["db"], record["set"], record["uid"],
+                record["replicas"],
+            )
+        elif op == "clear_pages":
+            self.clear_pages(record["db"], record["set"])
+        elif op == "set_partitions":
+            self.set_partitions(
+                record["db"], record["set"], record["partitions"]
+            )
+        else:
+            raise CatalogError("unknown journal record %r" % (op,))
 
     def set_metadata(self, database, name):
         """Metadata for one set, or raise."""

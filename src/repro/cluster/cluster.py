@@ -27,9 +27,11 @@ worker blacklisting with partition redistribution).
 
 from __future__ import annotations
 
+import os
+import tempfile
 import warnings
 
-from repro.catalog import CatalogManager
+from repro.catalog import CatalogJournal, CatalogManager
 from repro.engine.physical import plan_pipelines
 from repro.engine.vectors import DEFAULT_BATCH_SIZE
 from repro.errors import (
@@ -43,7 +45,7 @@ from repro.obs import Tracer
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
 from repro.memory.handle import Handle
 from repro.memory.objects import make_object_on
-from repro.storage import DistributedStorageManager
+from repro.storage import DistributedStorageManager, ReplicationManager
 from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.tcap.compiler import compile_computations
 from repro.tcap.optimizer import optimize
@@ -66,7 +68,18 @@ class PCCluster:
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
                  fault_injector=None, retry_policy=None):
-        self.catalog = CatalogManager()
+        # The master's durable territory: the catalog journals every DDL
+        # and replica-map mutation (write-ahead) under the spill root, so
+        # recover() can rebuild its state after a simulated master crash.
+        if spill_root is None:
+            self._master_dir = tempfile.mkdtemp(prefix="pc-master-")
+        else:
+            os.makedirs(spill_root, exist_ok=True)
+            self._master_dir = spill_root
+        self.journal = CatalogJournal(
+            os.path.join(self._master_dir, "catalog.journal")
+        )
+        self.catalog = CatalogManager(journal=self.journal)
         self.tracer = Tracer()
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
@@ -92,6 +105,10 @@ class PCCluster:
             )
             self.workers.append(worker)
             self.storage_manager.attach_server(worker.storage)
+        self.replication = ReplicationManager(
+            self.catalog, self.storage_manager, self.network,
+            tracer=self.tracer,
+        )
         self.python_outputs = {}  # (db, set) -> python values (non-PC sinks)
         self.last_program = None
         self.last_plan = None
@@ -106,14 +123,21 @@ class PCCluster:
     def create_database(self, name):
         self.storage_manager.create_database(name)
 
-    def create_set(self, database, name, cls=None, page_size=None):
-        """Create a set partitioned over all workers."""
+    def create_set(self, database, name, cls=None, page_size=None,
+                   replication=1):
+        """Create a set partitioned over all workers.
+
+        ``replication=k`` keeps ``k`` synchronous copies of every page on
+        ring-chosen workers: reads fail over to any live replica, and a
+        node loss triggers re-replication instead of data loss.
+        """
         type_name = None
         if cls is not None:
             self.register_type(cls)
             type_name = getattr(cls, "__name__", getattr(cls, "name", None))
         return self.storage_manager.create_set(
-            database, name, type_name, page_size=page_size
+            database, name, type_name, page_size=page_size,
+            replication=replication,
         )
 
     def ensure_set(self, database, name):
@@ -126,6 +150,8 @@ class PCCluster:
         """Drop all stored pages of a set (keeps the metadata)."""
         for partition in self.storage_manager.partitions(database, name):
             partition.clear()
+        if (database, name) in self.storage_manager:
+            self.catalog.clear_pages(database, name)
         self.python_outputs.pop((database, name), None)
 
     def drop_set(self, database, name):
@@ -145,9 +171,13 @@ class PCCluster:
         """Blacklist a worker and redistribute its partitions to peers.
 
         The worker's *front-end* storage is durable (the paper's premise:
-        only the back-end is unsafe), so its pages are shipped verbatim
-        to the surviving workers before the storage server is detached.
-        Returns the number of pages moved.
+        only the back-end is unsafe), so losing the back-end loses no
+        data.  Sets governed by the catalog replica map keep serving from
+        their other replicas; pages whose only copy lived here are
+        evacuated verbatim to a survivor first.  Legacy sets (no replica
+        map) have all their pages shipped to the survivors, as before.
+        After detaching, replication factors are restored on the
+        survivors.  Returns the number of pages moved.
         """
         dead = next(
             (w for w in self.workers if w.worker_id == worker_id), None
@@ -164,6 +194,15 @@ class PCCluster:
         self.blacklist.add(worker_id)
         moved = 0
         for key, page_set in dead.storage.sets():
+            try:
+                meta = self.catalog.set_metadata(*key)
+            except CatalogError:
+                meta = None
+            if meta is not None and meta.pages:
+                moved += self.replication.forget_worker(
+                    key[0], key[1], worker_id, evacuate_from=dead.storage
+                )
+                continue
             for index, page_id in enumerate(list(page_set.page_ids)):
                 page = dead.storage.pool.pin(page_id)
                 data = page.to_bytes()
@@ -178,9 +217,67 @@ class PCCluster:
                 )
                 peer.storage.get_set(*key).adopt_page_bytes(shipped)
             moved += len(page_set.page_ids)
+            if meta is not None and worker_id in meta.partitions:
+                self.catalog.set_partitions(
+                    key[0], key[1],
+                    [w for w in meta.partitions if w != worker_id],
+                )
         self.storage_manager.detach_server(worker_id)
+        self.replication.restore_replication()
         self.tracer.add("faults.pages_redistributed", moved)
         return moved
+
+    def kill_worker(self, worker_id, reason=None):
+        """Simulate the total loss of a node — front-end storage included.
+
+        Unlike :meth:`decommission_worker`, nothing can be read off the
+        dead node: every set must be recovered from its live replicas.  A
+        page without one is data loss and raises
+        :class:`~repro.errors.ReplicationError`.  Afterwards each set's
+        replication factor is restored on the survivors.  Returns the
+        number of replica copies created.
+        """
+        dead = next(
+            (w for w in self.workers if w.worker_id == worker_id), None
+        )
+        if dead is None or worker_id in self.blacklist:
+            return 0
+        if not [w for w in self.active_workers if w.worker_id != worker_id]:
+            raise ExecutionError(
+                "cannot kill %s: no surviving workers" % worker_id
+            )
+        self.blacklist.add(worker_id)
+        self.storage_manager.detach_server(worker_id)
+        for meta in self.catalog.list_sets():
+            if meta.pages:
+                self.replication.forget_worker(
+                    meta.database, meta.name, worker_id
+                )
+            elif worker_id in meta.partitions:
+                self.catalog.set_partitions(
+                    meta.database, meta.name,
+                    [w for w in meta.partitions if w != worker_id],
+                )
+        created = self.replication.restore_replication()
+        self.tracer.event(
+            "kill", kind="fault",
+            detail="worker %s lost entirely (%s); %d replica(s) re-created"
+            % (worker_id, reason or "killed", created),
+            counters={"faults.workers_killed": 1},
+        )
+        return created
+
+    # -- master crash recovery -----------------------------------------------------
+
+    def recover(self):
+        """Simulate a master restart: rebuild the catalog from its journal.
+
+        The in-memory DDL and replica-map state is discarded and replayed
+        from the write-ahead journal, after which reads and queries serve
+        the same answers as before the crash.  Returns the number of
+        journal records applied.
+        """
+        return self.catalog.replay_journal()
 
     # -- loading data -----------------------------------------------------------------
 
@@ -258,6 +355,13 @@ class PCCluster:
                 statement = producers.get(inputs[0])
             if not isinstance(statement, ScanStmt):
                 return None
+            if self.replication.has_page_map(
+                statement.database, statement.set_name
+            ):
+                # Replica-aware: each page counted once, not per copy.
+                return self.replication.estimated_bytes(
+                    statement.database, statement.set_name
+                )
             total = 0
             try:
                 partitions = self.storage_manager.partitions(
@@ -308,8 +412,16 @@ class PCCluster:
         masquerade as an empty result.
         """
         results = []
-        for partition in self.storage_manager.partitions(database, set_name):
-            results.extend(partition.scan_objects())
+        if self.replication.has_page_map(database, set_name):
+            # Replica-map governed set: each page is read once, from its
+            # first live replica, checksum-verified (and healed) on the
+            # way — the failover read path.
+            results.extend(self.replication.scan_objects(database, set_name))
+        else:
+            for partition in self.storage_manager.partitions(
+                database, set_name
+            ):
+                results.extend(partition.scan_objects())
         results.extend(self.python_outputs.get((database, set_name), []))
         if not as_pairs:
             return results
@@ -369,6 +481,7 @@ class PCCluster:
         """Cluster-wide counters for tests and benches."""
         return {
             "network": self.network.stats(),
+            "replication": self.replication.stats(),
             "blacklist": sorted(self.blacklist),
             "workers": {
                 worker.worker_id: worker.storage.stats()
@@ -467,14 +580,13 @@ class ClusterLoader:
     def _ship_block(self):
         if self._block is None or len(self._root) == 0:
             return
-        target_id = self.cluster.storage_manager.next_target(
-            self.database, self.set_name
+        # The replication layer stamps the sealed page's checksum, places
+        # it on the set's ring replicas, and records the placement in the
+        # catalog's (journaled) replica map.
+        self.cluster.replication.store_page(
+            self.database, self.set_name, self._block.to_bytes(),
+            len(self._root), source="client",
         )
-        data = self.cluster.network.ship_page(
-            "client", target_id, self._block.to_bytes()
-        )
-        server = self.cluster.storage_manager.server(target_id)
-        server.get_set(self.database, self.set_name).adopt_page_bytes(data)
         self.pages_shipped += 1
         self._block = None
         self._root = None

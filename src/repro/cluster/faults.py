@@ -33,6 +33,7 @@ import time
 #: Transfer verdicts returned by :meth:`FaultInjector.on_transfer`.
 DELIVER = "deliver"
 DROP = "drop"
+CORRUPT = "corrupt"
 
 
 class _Scripted:
@@ -66,7 +67,8 @@ class FaultInjector:
     """
 
     def __init__(self, seed=0, crash_rate=0.0, drop_rate=0.0,
-                 delay_rate=0.0, delay_s=0.0, reload_failure_rate=0.0):
+                 delay_rate=0.0, delay_s=0.0, reload_failure_rate=0.0,
+                 corrupt_rate=0.0, page_corrupt_rate=0.0):
         self.seed = seed
         self._rng = random.Random(seed)
         self.crash_rate = crash_rate
@@ -74,16 +76,25 @@ class FaultInjector:
         self.delay_rate = delay_rate
         self.delay_s = delay_s
         self.reload_failure_rate = reload_failure_rate
+        #: probability a network page transfer arrives bit-flipped.
+        self.corrupt_rate = corrupt_rate
+        #: probability a spilled page reloads bit-flipped (sticky: the
+        #: damage is written back to the spill file).
+        self.page_corrupt_rate = page_corrupt_rate
         self._crashes = []
         self._drops = []
         self._delays = []
         self._reload_failures = []
+        self._transfer_corruptions = []
+        self._page_corruptions = []
         #: typed counts of every fault this injector actually fired
         self.counts = {
             "backend_crashes": 0,
             "transfer_drops": 0,
             "transfer_delays": 0,
             "reload_failures": 0,
+            "transfer_corruptions": 0,
+            "page_corruptions": 0,
         }
 
     # -- scripting ---------------------------------------------------------------
@@ -116,6 +127,18 @@ class FaultInjector:
         self._reload_failures.append(_Scripted({"page_id": page_id}, times))
         return self
 
+    def corrupt_transfer(self, src=None, dst=None, times=1):
+        """Script ``times`` bit-flipped page transfers (None = any)."""
+        self._transfer_corruptions.append(
+            _Scripted({"src": src, "dst": dst}, times)
+        )
+        return self
+
+    def corrupt_page(self, page_id=None, times=1):
+        """Script ``times`` sticky spill-file corruptions (None = any page)."""
+        self._page_corruptions.append(_Scripted({"page_id": page_id}, times))
+        return self
+
     # -- hook points -------------------------------------------------------------
 
     def should_crash_backend(self, worker_id, stage_kind):
@@ -137,6 +160,13 @@ class FaultInjector:
         ):
             self.counts["transfer_drops"] += 1
             return DROP, 0.0
+        if any(
+            s.take(src=src, dst=dst) for s in self._transfer_corruptions
+        ) or (
+            self.corrupt_rate and self._rng.random() < self.corrupt_rate
+        ):
+            self.counts["transfer_corruptions"] += 1
+            return CORRUPT, 0.0
         for scripted in self._delays:
             if scripted.take(src=src, dst=dst):
                 self.counts["transfer_delays"] += 1
@@ -153,6 +183,19 @@ class FaultInjector:
             fired = self._rng.random() < self.reload_failure_rate
         if fired:
             self.counts["reload_failures"] += 1
+        return fired
+
+    def should_corrupt_page(self, page_id):
+        """Consulted by the buffer pool while reloading a spilled page.
+
+        A firing corrupts the spill file *stickily*: retries keep hitting
+        the damage until the replication layer heals the copy.
+        """
+        fired = any(s.take(page_id=page_id) for s in self._page_corruptions)
+        if not fired and self.page_corrupt_rate:
+            fired = self._rng.random() < self.page_corrupt_rate
+        if fired:
+            self.counts["page_corruptions"] += 1
         return fired
 
 

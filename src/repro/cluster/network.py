@@ -28,8 +28,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.errors import TransferDroppedError
+from repro.errors import PageCorruptionError, TransferDroppedError
 from repro.obs import Tracer
+from repro.storage.replication import corrupt_bytes, page_checksum
 
 
 def estimate_value_bytes(value):
@@ -62,6 +63,7 @@ class SimulatedNetwork:
         self.bytes_rows = 0  # structured rows (join shuffles)
         self.by_link = defaultdict(int)  # (src, dst) -> bytes
         self.transfers_dropped = 0
+        self.transfers_corrupted = 0
         self.transfer_retries = 0
         self.delay_s_total = 0.0
 
@@ -74,8 +76,19 @@ class SimulatedNetwork:
         self.tracer.add(counter, nbytes)
         self.tracer.add("net.link.%s->%s" % (src, dst), nbytes)
 
+    def _retry_budget(self):
+        return (
+            self.retry_policy.transfer_retries
+            if self.retry_policy is not None else 0
+        )
+
     def _deliver(self, src, dst, nbytes, counter):
-        """Attempt delivery, re-sending dropped transfers per policy."""
+        """Attempt delivery, re-sending dropped transfers per policy.
+
+        Returns the final verdict: ``"deliver"`` or ``"corrupt"`` (the
+        payload arrived, but bit-flipped — the *caller* decides whether
+        its payload type can detect that).
+        """
         attempts = 0
         while True:
             verdict, delay_s = "deliver", 0.0
@@ -87,15 +100,12 @@ class SimulatedNetwork:
                 self.delay_s_total += delay_s
                 self.tracer.add("net.delay_events")
                 self.tracer.add("net.delay_ms", int(delay_s * 1000))
-            if verdict == "deliver":
+            if verdict != "drop":
                 self._record(src, dst, nbytes, counter)
-                return
+                return verdict
             self.transfers_dropped += 1
             self.tracer.add("net.transfers_dropped")
-            budget = (
-                self.retry_policy.transfer_retries
-                if self.retry_policy is not None else 0
-            )
+            budget = self._retry_budget()
             if attempts >= budget:
                 raise TransferDroppedError(
                     "transfer %s->%s (%d bytes) dropped and retry budget "
@@ -105,15 +115,47 @@ class SimulatedNetwork:
             self.transfer_retries += 1
             self.tracer.add("net.transfer_retries")
 
-    def ship_page(self, src, dst, data):
-        """Move a PC page's bytes; zero serialization on either end."""
+    def ship_page(self, src, dst, data, checksum=None):
+        """Move a PC page's bytes; zero serialization on either end.
+
+        With a ``checksum`` (the page's sealed CRC32), the arrived bytes
+        are verified on receipt: a corrupted arrival is re-sent within
+        the transfer retry budget and raises
+        :class:`~repro.errors.PageCorruptionError` once it is exhausted,
+        so corrupted bytes are never handed to the receiver.  Without a
+        checksum, a corrupted payload is delivered as-is — downstream
+        integrity checks (spill reload, replicated reads) catch it.
+        """
         nbytes = len(data)
-        self._deliver(src, dst, nbytes, "net.bytes_zero_copy")
-        self.bytes_zero_copy += nbytes
-        return data
+        attempts = 0
+        while True:
+            verdict = self._deliver(src, dst, nbytes, "net.bytes_zero_copy")
+            self.bytes_zero_copy += nbytes
+            payload = data
+            if verdict == "corrupt":
+                payload = corrupt_bytes(data)
+                self.transfers_corrupted += 1
+                self.tracer.add("net.transfers_corrupted")
+            if checksum is None or page_checksum(payload) == checksum:
+                return payload
+            budget = self._retry_budget()
+            if attempts >= budget:
+                raise PageCorruptionError(
+                    "page transfer %s->%s (%d bytes) arrived corrupt and "
+                    "the re-send budget of %d is exhausted"
+                    % (src, dst, nbytes, budget)
+                )
+            attempts += 1
+            self.transfer_retries += 1
+            self.tracer.add("net.transfer_retries")
 
     def ship_rows(self, src, dst, rows):
-        """Move structured rows (the join-shuffle path)."""
+        """Move structured rows (the join-shuffle path).
+
+        A ``corrupt`` verdict does not apply to structured rows (they are
+        re-validated by the engine, not checksummed); the payload is
+        delivered unchanged.
+        """
         nbytes = sum(estimate_value_bytes(row) for row in rows)
         self._deliver(src, dst, nbytes, "net.bytes_rows")
         self.bytes_rows += nbytes
@@ -126,6 +168,7 @@ class SimulatedNetwork:
             "bytes_zero_copy": self.bytes_zero_copy,
             "bytes_rows": self.bytes_rows,
             "transfers_dropped": self.transfers_dropped,
+            "transfers_corrupted": self.transfers_corrupted,
             "transfer_retries": self.transfer_retries,
             "delay_s_total": self.delay_s_total,
             # Serializable per-link breakdown: "src->dst" -> bytes.  This
@@ -143,5 +186,6 @@ class SimulatedNetwork:
         self.bytes_rows = 0
         self.by_link.clear()
         self.transfers_dropped = 0
+        self.transfers_corrupted = 0
         self.transfer_retries = 0
         self.delay_s_total = 0.0

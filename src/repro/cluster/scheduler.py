@@ -68,6 +68,7 @@ from repro.errors import (
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import MapType, stable_hash
 from repro.memory.objects import make_object_on
+from repro.storage.replication import page_checksum
 from repro.tcap.ir import ApplyStmt, JoinStmt, OutputStmt
 
 #: Scaled stand-in for the paper's 2 GB broadcast-join threshold.
@@ -128,6 +129,17 @@ class DistributedScheduler:
         engine = worker.backend.engines.get(self._job_key)
         if engine is None:
             def scan_reader(scan_stmt, _worker=worker):
+                repl = self.cluster.replication
+                if repl.has_page_map(
+                    scan_stmt.database, scan_stmt.set_name
+                ):
+                    # Replica-map governed set: this worker reads exactly
+                    # the pages assigned to it (first live replica), with
+                    # failover and corruption healing built in.
+                    return repl.scan_objects(
+                        scan_stmt.database, scan_stmt.set_name,
+                        worker_id=_worker.worker_id,
+                    )
                 page_set = _worker.storage.get_set(
                     scan_stmt.database, scan_stmt.set_name
                 )
@@ -480,16 +492,35 @@ class DistributedScheduler:
             per_worker_columns = next_columns
 
     def _run_distributed_pipeline(self, pipeline, sink_factory):
-        """Run a full pipeline on every worker, honoring join partitioning."""
+        """Run a full pipeline on every worker, honoring join partitioning.
+
+        Single-segment scan-sourced stages get the no-restart failover
+        path: when a worker is declared lost mid-stage and every page it
+        was scanning survives on a replica, the survivors *absorb* its
+        orphaned pages (merge-aware sinks) and the stage completes without
+        restarting the job.  Anything unabsorbable re-raises and falls
+        back to the restart-from-scratch degradation.
+        """
         segments = self._segments(pipeline.stages)
         first, rest = segments[0], segments[1:]
         if not rest:
-            for worker in self.workers:
-                self._run_stages_into_sink(
-                    worker, first,
-                    self._scan_batches_factory(worker, pipeline),
-                    sink_factory,
-                )
+            completed = set()
+            for worker in list(self.workers):
+                if worker.worker_id in self.cluster.blacklist:
+                    continue
+                try:
+                    self._run_stages_into_sink(
+                        worker, first,
+                        self._scan_batches_factory(worker, pipeline),
+                        sink_factory,
+                    )
+                    completed.add(worker.worker_id)
+                except WorkerLostError as lost:
+                    if not self._can_absorb(lost, pipeline):
+                        raise
+                    self._absorb_lost_worker(
+                        lost, pipeline, first, sink_factory, completed
+                    )
             return
         collected = []
         for worker in self.workers:
@@ -498,12 +529,123 @@ class DistributedScheduler:
             ))
         self._probe_segments(pipeline, collected, rest, sink_factory)
 
+    def _can_absorb(self, lost, pipeline):
+        """Whether a lost worker's stage portion can move to survivors.
+
+        Absorption needs (a) a scan source whose pages are governed by
+        the catalog replica map — so the lost worker's input survives
+        elsewhere — and (b) no unrecoverable per-worker state from
+        earlier stages: a checkpointed *partitioned* hash-table shard or
+        materialized store partition died with the worker, forcing the
+        restart fallback.  Broadcast hash tables are identical on every
+        worker, so losing one copy loses nothing.
+        """
+        if pipeline.source_kind != SOURCE_SCAN:
+            return False
+        scan = pipeline.source
+        if not self.cluster.replication.has_page_map(
+            scan.database, scan.set_name
+        ):
+            return False
+        checkpoint = self._checkpoints.get(lost.worker_id)
+        if checkpoint is not None:
+            if checkpoint["store"]:
+                return False
+            for output in checkpoint["hash_tables"]:
+                if self.join_modes.get(output) != "broadcast":
+                    return False
+        return True
+
+    def _absorb_lost_worker(self, lost, pipeline, stages, sink_factory,
+                            completed):
+        """Decommission a lost worker and re-run its orphans on survivors.
+
+        The worker's scan assignment (the pages it was reading) is
+        captured before decommissioning; afterwards those pages' first
+        live replicas sit on survivors.  Survivors that already finished
+        this stage run *only* the orphaned pages through merge-aware
+        sinks; survivors still queued pick the orphans up automatically
+        through their refreshed scan assignments.
+        """
+        scan = pipeline.source
+        repl = self.cluster.replication
+        before = repl.scan_assignments(scan.database, scan.set_name)
+        orphans = {
+            uid for uid, worker_id in before.items()
+            if worker_id == lost.worker_id
+        }
+        moved = self.cluster.decommission_worker(
+            lost.worker_id, reason=lost.reason
+        )
+        self._checkpoints.pop(lost.worker_id, None)
+        self.tracer.event(
+            "absorb", kind="fault",
+            detail="worker %s lost (%s); %d orphaned page(s) absorbed by "
+            "survivors, no restart" % (
+                lost.worker_id, lost.reason, len(orphans)
+            ),
+            counters={
+                "faults.workers_blacklisted": 1,
+                "faults.workers_absorbed": 1,
+                "faults.pages_redistributed": moved,
+            },
+        )
+        self.job_log.append(JobStage(
+            "WorkerAbsorbedEvent",
+            "%s decommissioned mid-stage; %d orphaned page(s) absorbed "
+            "by %d survivor(s) without a job restart"
+            % (lost.worker_id, len(orphans), len(self.workers)),
+        ))
+        if not orphans:
+            return
+        after = repl.scan_assignments(scan.database, scan.set_name)
+        for worker in self.workers:
+            if worker.worker_id not in completed:
+                # Still queued in the stage loop: its refreshed scan
+                # assignment already includes any orphans routed to it.
+                continue
+            assigned = {
+                uid for uid in orphans
+                if after.get(uid) == worker.worker_id
+            }
+            if assigned:
+                self._run_orphan_pages(
+                    worker, scan, stages, sink_factory, assigned
+                )
+
+    def _run_orphan_pages(self, worker, scan, stages, sink_factory, uids):
+        """Run ``stages`` over just the orphaned pages, merging results."""
+        from repro.engine.pipeline import object_batches
+
+        def batches_factory():
+            objects = self.cluster.replication.scan_objects(
+                scan.database, scan.set_name,
+                worker_id=worker.worker_id, only_uids=uids,
+            )
+            return object_batches(
+                objects, scan.column, self.cluster.batch_size
+            )
+
+        def merge_sink_factory(w):
+            sink = sink_factory(w)
+            if hasattr(sink, "merge"):
+                sink.merge = True
+            return sink
+
+        self._run_stages_into_sink(
+            worker, stages, batches_factory, merge_sink_factory
+        )
+
     # -- per-sink handlers ------------------------------------------------------------------
 
     def _estimate_source_bytes(self, pipeline):
         """Rough size of a pipeline's source for the broadcast decision."""
         if pipeline.source_kind == SOURCE_SCAN:
             scan = pipeline.source
+            repl = self.cluster.replication
+            if repl.has_page_map(scan.database, scan.set_name):
+                # Replica-aware: count each page once, not once per copy.
+                return repl.estimated_bytes(scan.database, scan.set_name)
             total = 0
             for worker in self.workers:
                 try:
@@ -616,7 +758,14 @@ class DistributedScheduler:
                     continue
                 partitions = [dict() for _ in range(n)]
                 for key, value in zip(store["key"], store["val"]):
-                    partitions[stable_hash(key) % n][key] = value
+                    bucket = partitions[stable_hash(key) % n]
+                    if key in bucket:
+                        # A store can carry a key twice after a survivor
+                        # absorbed a lost peer's portion — combine, never
+                        # silently overwrite.
+                        bucket[key] = comp.combine(bucket[key], value)
+                    else:
+                        bucket[key] = value
                 for dst_index, partition in enumerate(partitions):
                     if not partition:
                         continue
@@ -662,8 +811,12 @@ class DistributedScheduler:
                     if shipped == 0:
                         raise
                 block.set_root(handle.offset, handle.type_code)
+                payload = block.to_bytes()
+                # Checksummed transfer: a corrupted combiner page is
+                # detected on receipt and re-sent, never merged.
                 data = network.ship_page(
-                    src.worker_id, dst.worker_id, block.to_bytes()
+                    src.worker_id, dst.worker_id, payload,
+                    checksum=page_checksum(payload),
                 )
                 arrived = AllocationBlock.from_bytes(
                     data, registry=dst.local_catalog.registry
@@ -718,7 +871,40 @@ class DistributedScheduler:
             "PipelineJobStage",
             "pipeline into %s.%s" % (output.database, output.set_name),
         ):
+            premarks = {
+                worker.worker_id: len(
+                    worker.storage.get_set(
+                        output.database, output.set_name
+                    ).page_ids
+                )
+                for worker in self.workers
+            }
             self._run_distributed_pipeline(pipeline, sink_factory)
+            self._register_output_pages(output, premarks)
+
+    def _register_output_pages(self, output, premarks):
+        """Checksum, record, and replicate the pages this stage wrote.
+
+        Sink pages are written in place on each worker; before the stage
+        is declared complete they are stamped into the catalog's replica
+        map and copied to their ring replicas, so output sets get the
+        same durability as loaded ones.  The new-page lists are snapshot
+        *before* any replica is shipped — replica copies land in peer
+        partitions and must not be mistaken for freshly written output.
+        """
+        new_pages = {}
+        for worker in self.workers:
+            page_set = worker.storage.get_set(
+                output.database, output.set_name
+            )
+            mark = premarks.get(worker.worker_id, 0)
+            pages = list(page_set.page_ids[mark:])
+            if pages:
+                new_pages[worker.worker_id] = pages
+        for worker_id, pages in new_pages.items():
+            self.cluster.replication.register_local_pages(
+                output.database, output.set_name, worker_id, pages
+            )
 
     def _aggregate_behind(self, output_stmt):
         """The AggregateComp whose pairs this OUTPUT writes, if any."""

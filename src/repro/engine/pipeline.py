@@ -197,20 +197,9 @@ class PipelineEngine:
     def _source_batches(self, pipeline):
         if pipeline.source_kind == SOURCE_SCAN:
             scan = pipeline.source
-            objects = self.scan_reader(scan)
-            column = scan.column
-            chunk = []
-            for item in objects:
-                expanded = _expand_aggregate_object(item)
-                if expanded is None:
-                    chunk.append(item)
-                else:
-                    chunk.extend(expanded)
-                if len(chunk) >= self.batch_size:
-                    yield VectorList({column: chunk})
-                    chunk = []
-            if chunk:
-                yield VectorList({column: chunk})
+            yield from object_batches(
+                self.scan_reader(scan), scan.column, self.batch_size
+            )
             return
         columns = self.store.get(pipeline.source)
         if columns is None:
@@ -234,6 +223,27 @@ class PipelineEngine:
 
     def _default_sink(self, output_stmt):
         return ListOutputSink(self, output_stmt)
+
+
+def object_batches(objects, column, batch_size):
+    """Batch a scanned object stream into single-column vector lists.
+
+    Shared by the engine's scan source and the scheduler's orphan-page
+    re-runs; stored aggregation Maps are expanded into their pairs either
+    way.
+    """
+    chunk = []
+    for item in objects:
+        expanded = _expand_aggregate_object(item)
+        if expanded is None:
+            chunk.append(item)
+        else:
+            chunk.extend(expanded)
+        if len(chunk) >= batch_size:
+            yield VectorList({column: chunk})
+            chunk = []
+    if chunk:
+        yield VectorList({column: chunk})
 
 
 def _expand_aggregate_object(item):
@@ -308,13 +318,20 @@ class HashBuildSink(Sink):
 
 
 class AggregateSink(Sink):
-    """Pre-aggregates (key, value) pairs — the paper's producing stage."""
+    """Pre-aggregates (key, value) pairs — the paper's producing stage.
 
-    def __init__(self, engine, agg_stmt):
+    With ``merge=True`` the finished groups are combined into whatever the
+    engine's store already holds for this output instead of overwriting
+    it — the mode the scheduler uses when a surviving worker absorbs a
+    lost peer's orphaned scan pages after its own portion completed.
+    """
+
+    def __init__(self, engine, agg_stmt, merge=False):
         super().__init__(engine)
         self.statement = agg_stmt
         self.comp = engine.program.computations[agg_stmt.computation]
         self.groups = {}
+        self.merge = merge
 
     def consume(self, batch):
         keys = batch.column(self.statement.key_column)
@@ -329,19 +346,38 @@ class AggregateSink(Sink):
 
     def finish(self):
         self.engine.metrics.pre_aggregated_keys += len(self.groups)
+        groups = self.groups
+        existing = (
+            self.engine.store.get(self.statement.output)
+            if self.merge else None
+        )
+        if existing:
+            merged = dict(zip(existing["key"], existing["val"]))
+            combine = self.comp.combine
+            for key, value in groups.items():
+                if key in merged:
+                    merged[key] = combine(merged[key], value)
+                else:
+                    merged[key] = value
+            groups = merged
         self.engine.store[self.statement.output] = {
-            "key": list(self.groups.keys()),
-            "val": list(self.groups.values()),
+            "key": list(groups.keys()),
+            "val": list(groups.values()),
         }
 
 
 class MaterializeSink(Sink):
-    """Materializes a multi-consumer vector list."""
+    """Materializes a multi-consumer vector list.
 
-    def __init__(self, engine, vlist_name):
+    ``merge=True`` appends the finished columns to the store's existing
+    entry instead of replacing it (see :class:`AggregateSink`).
+    """
+
+    def __init__(self, engine, vlist_name, merge=False):
         super().__init__(engine)
         self.vlist_name = vlist_name
         self.columns = None
+        self.merge = merge
 
     def consume(self, batch):
         if self.columns is None:
@@ -350,7 +386,16 @@ class MaterializeSink(Sink):
             self.columns[name].extend(batch.column(name))
 
     def finish(self):
-        self.engine.store[self.vlist_name] = self.columns or {}
+        columns = self.columns or {}
+        existing = (
+            self.engine.store.get(self.vlist_name) if self.merge else None
+        )
+        if existing:
+            merged = {name: list(vals) for name, vals in existing.items()}
+            for name, vals in columns.items():
+                merged.setdefault(name, []).extend(vals)
+            columns = merged
+        self.engine.store[self.vlist_name] = columns
 
 
 class ListOutputSink(Sink):

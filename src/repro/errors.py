@@ -93,6 +93,24 @@ class PageReloadError(StorageError):
     """
 
 
+class PageCorruptionError(StorageError):
+    """A page's bytes failed their CRC32 integrity check.
+
+    Raised when a spilled page reloads with a checksum mismatch or a
+    network transfer arrives corrupted.  The replication layer reacts by
+    quarantining the bad copy and re-fetching the page from a healthy
+    replica; corrupted bytes are never handed to a query.
+    """
+
+
+class ReplicationError(StorageError):
+    """The replication layer could not honor a set's replication factor.
+
+    Raised when a page has no healthy live replica left (data loss) or a
+    replication factor cannot be placed on the attached workers.
+    """
+
+
 class LambdaError(PCError):
     """Base class for errors in the lambda-calculus layer."""
 

@@ -3,6 +3,12 @@
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.dataset import PageSet, SetWriter
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.replication import (
+    PlacementRing,
+    ReplicationManager,
+    corrupt_bytes,
+    page_checksum,
+)
 from repro.storage.storage_manager import (
     DistributedStorageManager,
     LocalStorageServer,
@@ -15,5 +21,9 @@ __all__ = [
     "LocalStorageServer",
     "Page",
     "PageSet",
+    "PlacementRing",
+    "ReplicationManager",
     "SetWriter",
+    "corrupt_bytes",
+    "page_checksum",
 ]

@@ -16,9 +16,15 @@ import os
 import tempfile
 from collections import OrderedDict
 
-from repro.errors import BufferPoolExhaustedError, PageReloadError, StorageError
+from repro.errors import (
+    BufferPoolExhaustedError,
+    PageCorruptionError,
+    PageReloadError,
+    StorageError,
+)
 from repro.obs import Tracer
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
+from repro.storage.replication import corrupt_bytes, page_checksum
 
 
 class BufferPool:
@@ -44,11 +50,13 @@ class BufferPool:
             os.makedirs(spill_dir, exist_ok=True)
             self._spill_dir = spill_dir
         self._spilled = {}  # page_id -> file path
+        self._spill_checksums = {}  # page_id -> CRC32 of the spill file
         # Statistics (surfaced by the figure-4/5 benches and tests).
         self.evictions = 0
         self.spills = 0
         self.reloads = 0
         self.reload_failures = 0
+        self.checksum_failures = 0
         self.pages_created = 0
         self.pins = 0
 
@@ -123,6 +131,7 @@ class BufferPool:
         self._lru.pop(page_id, None)
         if page.in_memory:
             self._in_memory_bytes -= page.size
+        self._spill_checksums.pop(page_id, None)
         path = self._spilled.pop(page_id, None)
         if path is not None and os.path.exists(path):
             os.unlink(path)
@@ -144,9 +153,11 @@ class BufferPool:
         self.tracer.add("pool.evictions")
         if page.dirty or page.page_id not in self._spilled:
             path = os.path.join(self._spill_dir, "page-%d" % page.page_id)
+            data = page.to_bytes()
             with open(path, "wb") as f:
-                f.write(page.to_bytes())
+                f.write(data)
             self._spilled[page.page_id] = path
+            self._spill_checksums[page.page_id] = page_checksum(data)
             self.spills += 1
             self.tracer.add("pool.spills")
             page.dirty = False
@@ -177,6 +188,24 @@ class BufferPool:
         self._lru.pop(page.page_id, None)
         with open(path, "rb") as f:
             data = f.read()
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.should_corrupt_page(page.page_id)
+        ):
+            # A corrupted spill file is *sticky*: write the damage back so
+            # a plain retry keeps failing until the replication layer
+            # heals the copy from a healthy replica.
+            data = corrupt_bytes(data)
+            with open(path, "wb") as f:
+                f.write(data)
+        expected = self._spill_checksums.get(page.page_id)
+        if expected is not None and page_checksum(data) != expected:
+            self.checksum_failures += 1
+            self.tracer.add("pool.checksum_failures")
+            raise PageCorruptionError(
+                "spilled page %d failed its CRC32 check on reload"
+                % page.page_id
+            )
         # Spill files hold a block's used-prefix, which can be far
         # smaller than the block it reconstitutes into; budget the real
         # in-memory footprint, not the file size.
@@ -206,5 +235,6 @@ class BufferPool:
             "spills": self.spills,
             "reloads": self.reloads,
             "reload_failures": self.reload_failures,
+            "checksum_failures": self.checksum_failures,
             "pins": self.pins,
         }

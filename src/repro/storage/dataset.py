@@ -44,19 +44,44 @@ class PageSet:
         """Context manager yielding a :class:`SetWriter`."""
         return SetWriter(self)
 
-    def adopt_page_bytes(self, data):
+    def adopt_page_bytes(self, data, count_objects=True):
         """Install a page that arrived over the (simulated) network.
 
         The arriving bytes are used verbatim — zero-cost data movement.
+        ``count_objects=False`` adopts the page without adding its objects
+        to the partition's logical count; the replication layer uses it
+        for redundant copies, which must not inflate set cardinality.
         """
         page = self.pool.adopt_page(data, set_key=self.key)
-        root_offset, _code = page.block.root()
-        if root_offset is not None:
-            root = _ROOT_VECTOR.facade(page.block, root_offset)
-            self.object_count += len(root)
+        if count_objects:
+            root_offset, _code = page.block.root()
+            if root_offset is not None:
+                root = _ROOT_VECTOR.facade(page.block, root_offset)
+                self.object_count += len(root)
         self.page_ids.append(page.page_id)
         self.pool.unpin(page.page_id, dirty=True)
         return page.page_id
+
+    def replace_page_bytes(self, old_page_id, data):
+        """Swap a page's bytes for a healthy copy fetched from a replica.
+
+        The old (quarantined) page is freed and the replacement adopted in
+        its slot, keeping scan order and the logical object count intact.
+        """
+        index = self.page_ids.index(old_page_id)
+        self.pool.free_page(old_page_id)
+        page = self.pool.adopt_page(data, set_key=self.key)
+        self.page_ids[index] = page.page_id
+        self.pool.unpin(page.page_id, dirty=True)
+        return page.page_id
+
+    def page_object_count(self, page_id):
+        """Number of objects on one page of this partition."""
+        with self.pinned_page(page_id) as page:
+            root_offset, _code = page.block.root()
+            if root_offset is None:
+                return 0
+            return len(_ROOT_VECTOR.facade(page.block, root_offset))
 
     # -- reading --------------------------------------------------------------------
 

@@ -19,7 +19,8 @@ DEFAULT_PAGE_SIZE = 1 << 20
 class Page:
     """One buffer-pool page wrapping an allocation block."""
 
-    __slots__ = ("page_id", "block", "pin_count", "dirty", "set_key")
+    __slots__ = ("page_id", "block", "pin_count", "dirty", "set_key",
+                 "checksum")
 
     def __init__(self, page_id, block, set_key=None):
         self.page_id = page_id
@@ -28,6 +29,8 @@ class Page:
         self.dirty = False
         #: the (database, set) this page belongs to, when any.
         self.set_key = set_key
+        #: CRC32 stamped when the page was sealed (None while writable).
+        self.checksum = None
 
     @property
     def size(self):

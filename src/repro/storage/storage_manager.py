@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import itertools
 
-from repro.errors import CatalogError, SetNotFoundError, StorageError
+from repro.errors import (
+    CatalogError,
+    ReplicationError,
+    SetNotFoundError,
+    StorageError,
+)
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.dataset import PageSet
 from repro.storage.page import DEFAULT_PAGE_SIZE
@@ -109,19 +114,49 @@ class DistributedStorageManager:
         except KeyError:
             raise StorageError("unknown worker %r" % (worker_id,)) from None
 
+    def has_server(self, worker_id):
+        """Whether ``worker_id``'s storage server is (still) attached."""
+        return worker_id in self._servers
+
     def create_database(self, name):
         """Create a database namespace cluster-wide."""
         self.catalog.create_database(name)
 
-    def create_set(self, database, name, type_name=None, page_size=None):
-        """Create a set partitioned over every attached worker."""
+    def create_set(self, database, name, type_name=None, page_size=None,
+                   replication=1):
+        """Create a set partitioned over every attached worker.
+
+        The creation is atomic: if any worker-side create fails, the
+        catalog record and the partitions created so far are rolled back,
+        so a failed ``create_set`` leaves no half-created set behind.
+        """
         if not self._servers:
             raise StorageError("no storage servers attached")
+        if replication < 1:
+            raise ReplicationError(
+                "replication factor must be >= 1, got %r" % (replication,)
+            )
+        if replication > len(self._servers):
+            raise ReplicationError(
+                "replication factor %d exceeds the %d attached workers"
+                % (replication, len(self._servers))
+            )
         meta = self.catalog.create_set(
-            database, name, type_name, self.worker_ids
+            database, name, type_name, self.worker_ids,
+            replication=replication, page_size=page_size,
         )
-        for server in self._servers.values():
-            server.create_set(database, name, type_name, page_size=page_size)
+        created = []
+        try:
+            for server in self._servers.values():
+                server.create_set(
+                    database, name, type_name, page_size=page_size
+                )
+                created.append(server)
+        except Exception:
+            for server in created:
+                server.drop_set(database, name)
+            self.catalog.drop_set(database, name)
+            raise
         self._round_robin[(database, name)] = itertools.cycle(self.worker_ids)
         return meta
 
@@ -137,7 +172,10 @@ class DistributedStorageManager:
 
         Raises :class:`SetNotFoundError` for an unknown database or set,
         so storage callers see one error family regardless of whether the
-        miss happened in the catalog or on a worker.
+        miss happened in the catalog or on a worker.  A partition whose
+        worker is gone is a hard :class:`StorageError` naming the missing
+        workers — unless every page of the set is still covered by a live
+        replica, in which case reads can proceed on the survivors.
         """
         try:
             meta = self.catalog.set_metadata(database, name)
@@ -145,10 +183,27 @@ class DistributedStorageManager:
             raise SetNotFoundError(
                 "unknown set %s.%s" % (database, name)
             ) from None
+        missing = [w for w in meta.partitions if w not in self._servers]
+        if missing:
+            uncovered = self._uncovered_pages(meta)
+            if uncovered or not meta.pages:
+                raise StorageError(
+                    "set %s.%s is missing partitions on worker(s) %s "
+                    "with no live replica covering them"
+                    % (database, name, ", ".join(map(repr, sorted(missing))))
+                )
         return [
             self._servers[worker_id].get_set(database, name)
             for worker_id in meta.partitions
             if worker_id in self._servers
+        ]
+
+    def _uncovered_pages(self, meta):
+        """Page uids of ``meta`` with no replica on an attached worker."""
+        return [
+            record.uid
+            for record in meta.pages.values()
+            if not any(w in self._servers for w in record.workers())
         ]
 
     def next_target(self, database, name):
@@ -159,7 +214,20 @@ class DistributedStorageManager:
         return next(cycle)
 
     def total_objects(self, database, name):
-        """Total object count of a set across all partitions."""
+        """Total object count of a set across all partitions.
+
+        A set with a catalog replica map is counted from its page records
+        (the authoritative count even while a partition's worker is dead);
+        sets without one fall back to summing the live partitions.
+        """
+        try:
+            meta = self.catalog.set_metadata(database, name)
+        except CatalogError:
+            raise SetNotFoundError(
+                "unknown set %s.%s" % (database, name)
+            ) from None
+        if meta.pages:
+            return sum(record.count for record in meta.pages.values())
         return sum(len(p) for p in self.partitions(database, name))
 
     def __contains__(self, key):

@@ -103,12 +103,13 @@ def _customer_records(spec):
         }
 
 
-def load_pc_customers(cluster, spec, database="tpch", set_name="customers"):
+def load_pc_customers(cluster, spec, database="tpch", set_name="customers",
+                      replication=1):
     """Generate and load whole Customer trees into a PC cluster."""
     for cls in (Part, Supplier, LineItem, Order, Customer):
         cluster.register_type(cls)
     cluster.create_database(database)
-    cluster.create_set(database, set_name, Customer)
+    cluster.create_set(database, set_name, Customer, replication=replication)
     count = 0
     with cluster.loader(database, set_name) as load:
         for record in _customer_records(spec):

@@ -46,9 +46,9 @@ def make_cluster(tmp_path, subdir, injector=None, policy=None, n_workers=3,
     )
 
 
-def load_points(cluster, n=200):
+def load_points(cluster, n=200, replication=1):
     cluster.create_database("db")
-    cluster.create_set("db", "points", Point)
+    cluster.create_set("db", "points", Point, replication=replication)
     with cluster.loader("db", "points") as load:
         for i in range(n):
             load.append(Point, pid=i, cluster_id=i % 4, x=float(i))
@@ -234,7 +234,9 @@ def test_failed_page_reload_recovers_via_stage_retry(tmp_path):
 # -- blacklisting and graceful degradation --------------------------------------------
 
 
-def test_hopeless_worker_is_blacklisted_and_job_degrades(tmp_path):
+def test_hopeless_worker_is_blacklisted_and_absorbed_without_restart(
+    tmp_path,
+):
     clock = FakeClock()
     injector = FaultInjector().crash_backend("worker-2", times=99)
     policy = fast_policy(
@@ -253,7 +255,13 @@ def test_hopeless_worker_is_blacklisted_and_job_degrades(tmp_path):
     assert totals["faults.workers_blacklisted"] == 1
     assert totals["faults.pages_redistributed"] > 0
     kinds = [stage.kind for stage in cluster.last_job_log]
-    assert "WorkerBlacklistedEvent" in kinds
+    # The scan source is replica-map governed, so the survivors absorbed
+    # the dead worker's orphaned pages instead of restarting the job.
+    assert "WorkerAbsorbedEvent" in kinds
+    assert "WorkerBlacklistedEvent" not in kinds
+    assert totals["faults.workers_absorbed"] == 1
+    # The absorbed pages really were re-read (served off a survivor).
+    assert cluster.replication.failover_reads > 0
 
 
 def test_blacklisting_stops_at_min_surviving_workers(tmp_path):
@@ -328,6 +336,57 @@ def test_seeded_fault_storm_still_computes_the_right_answer(tmp_path):
         injector.counts["backend_crashes"]
     assert totals.get("net.transfers_dropped", 0) == \
         injector.counts["transfer_drops"]
+
+
+def test_seeded_storm_with_corruption_over_replicated_load(tmp_path):
+    """Crashes, drops, *and* corruption (in-flight and at-rest) rain on a
+    job over a replicated set; the answer is still byte-exact, corrupted
+    copies were quarantined/healed (never served), and the set ends at
+    full replication factor on whatever workers survived."""
+    seed = int(os.environ.get("PC_FAULT_SEED", "0"))
+    clock = FakeClock()
+    injector = FaultInjector(seed=seed)
+    policy = fast_policy(
+        clock, max_attempts=6, transfer_retries=4,
+        blacklist_on_exhaustion=True,
+    )
+    # A small pool forces spills, so at-rest corruption has reloads to
+    # strike; replication=2 gives the heal path somewhere to heal from.
+    cluster = make_cluster(
+        tmp_path, "storm", injector=injector, policy=policy,
+        worker_memory=6 << 12,
+    )
+    load_points(cluster, n=400, replication=2)
+    # Arm the combined storm only after the replicated load.
+    injector.crash_rate = 0.03
+    injector.drop_rate = 0.02
+    injector.corrupt_rate = 0.02
+    injector.page_corrupt_rate = 0.02
+
+    agg = SumX().set_input(ObjectReader("db", "points"))
+    Writer("db", "sums").set_input(agg).execute(cluster)
+
+    # Calm the storm, then verify what it left behind.
+    injector.crash_rate = injector.drop_rate = 0.0
+    injector.corrupt_rate = injector.page_corrupt_rate = 0.0
+    assert cluster.read("db", "sums", as_pairs=True, comp=agg) == \
+        expected_sums(n=400)
+    assert sorted(h.pid for h in cluster.read("db", "points")) == \
+        list(range(400))
+    # Every page is back at full factor over the surviving workers.
+    cluster.replication.restore_replication()
+    want = min(2, len(cluster.active_workers))
+    factors = cluster.replication.replication_factors("db", "points")
+    assert factors and all(count >= want for count in factors.values())
+    # Any at-rest corruption that struck a reload was detected and
+    # healed — never silently served.
+    repl = cluster.replication.stats()
+    pool_failures = sum(
+        w.storage.pool.stats()["checksum_failures"]
+        for w in cluster.workers
+    )
+    assert injector.counts["page_corruptions"] == 0 or \
+        repl["checksum_failures"] + pool_failures > 0
 
 
 # -- TPC-H acceptance -----------------------------------------------------------------
