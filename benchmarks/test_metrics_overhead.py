@@ -1,0 +1,145 @@
+"""Profiler/metrics overhead budget: instrumented runs stay within 5%.
+
+Runs the Figure-4 trace workload (selection + aggregation) on identical
+clusters with profiling enabled and disabled, interleaved best-of-N so
+transient machine noise hits both arms equally.  The CI metrics leg
+fails if the enabled-path overhead exceeds the 5% budget, and the
+measured numbers land in ``BENCH_metrics.json`` next to a sample of the
+cluster-wide metrics snapshot the instrumented run produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster import PCCluster
+from repro.core import (
+    AggregateComp,
+    ObjectReader,
+    SelectionComp,
+    Writer,
+    lambda_from_member,
+)
+from repro.memory import Float64, Int32, Int64, PCObject
+
+from bench_utils import report
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_metrics.json"
+)
+
+N_POINTS = 6000
+N_CLUSTERS = 8
+TRIALS = 7
+OVERHEAD_BUDGET = 0.05
+
+
+class Point(PCObject):
+    fields = [("pid", Int32), ("cluster_id", Int32), ("x", Float64)]
+
+
+class Positive(SelectionComp):
+    def get_selection(self, arg):
+        return lambda_from_member(arg, "x") > 0.0
+
+
+class SumByCluster(AggregateComp):
+    key_type = Int64
+    value_type = Float64
+
+    def get_key_projection(self, arg):
+        return lambda_from_member(arg, "cluster_id")
+
+    def get_value_projection(self, arg):
+        return lambda_from_member(arg, "x")
+
+
+def _make_cluster(profiling):
+    cluster = PCCluster(n_workers=4, page_size=1 << 13,
+                        profiling=profiling)
+    cluster.create_database("db")
+    cluster.create_set("db", "points", Point)
+    with cluster.loader("db", "points") as load:
+        for i in range(N_POINTS):
+            load.append(Point, pid=i, cluster_id=i % N_CLUSTERS,
+                        x=float(i % 50) - 10.0)
+    return cluster
+
+
+def _run_job(cluster, job_name):
+    computation = Writer("db", job_name).set_input(
+        SumByCluster().set_input(
+            Positive().set_input(ObjectReader("db", "points"))
+        )
+    )
+    start = time.perf_counter()
+    cluster.execute_computations(computation, job_name=job_name)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="metrics")
+def test_profiler_overhead_within_budget(benchmark):
+    times = {False: [], True: []}
+    clusters = {False: _make_cluster(False), True: _make_cluster(True)}
+    # Warm both arms once (imports, code caches) before measuring.
+    for profiling, cluster in clusters.items():
+        _run_job(cluster, "warmup")
+    for trial in range(TRIALS):
+        for profiling, cluster in clusters.items():
+            times[profiling].append(
+                _run_job(cluster, "run-%d" % trial)
+            )
+
+    off = min(times[False])
+    on = min(times[True])
+    overhead = (on - off) / off
+
+    # The instrumented cluster really did profile: per-stage and
+    # per-operator series exist with observations.
+    snapshot = clusters[True].metrics()
+    assert snapshot.quantile("pc_op_seconds", 0.5, operator="apply") \
+        is not None
+    assert snapshot.value("pc_sched_stages_total") > 0
+    plain = clusters[False].metrics()
+    assert plain.quantile("pc_op_seconds", 0.5) is None
+
+    payload = {
+        "benchmark": "metrics_overhead",
+        "workload": {
+            "n_workers": 4,
+            "n_points": N_POINTS,
+            "n_clusters": N_CLUSTERS,
+            "trials": TRIALS,
+        },
+        "wall_s_profiling_off": round(off, 6),
+        "wall_s_profiling_on": round(on, 6),
+        "overhead_fraction": round(overhead, 6),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "samples": {
+            "off": [round(t, 6) for t in times[False]],
+            "on": [round(t, 6) for t in times[True]],
+        },
+        "metrics_snapshot": json.loads(snapshot.to_json()),
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    report("metrics_overhead", (
+        "profiling off (best of %d): %.4fs\n"
+        "profiling on  (best of %d): %.4fs\n"
+        "overhead: %.2f%% (budget %.0f%%)"
+        % (TRIALS, off, TRIALS, on, 100 * overhead,
+           100 * OVERHEAD_BUDGET)
+    ))
+
+    assert overhead <= OVERHEAD_BUDGET, (
+        "profiler overhead %.2f%% exceeds the %.0f%% budget"
+        % (100 * overhead, 100 * OVERHEAD_BUDGET)
+    )
+
+    benchmark(lambda: _run_job(clusters[True], "bench"))

@@ -19,6 +19,7 @@ import itertools
 
 from repro.baseline.serde import KryoSerde, SimulatedHDFS
 from repro.errors import BaselineError
+from repro.obs import MetricsRegistry
 
 _rdd_ids = itertools.count(1)
 
@@ -26,12 +27,26 @@ _rdd_ids = itertools.count(1)
 class BaselineContext:
     """The SparkContext stand-in: partitions, serde, HDFS, metrics."""
 
-    def __init__(self, n_partitions=4):
+    def __init__(self, n_partitions=4, metrics=None):
         self.n_partitions = n_partitions
-        self.serde = KryoSerde()
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry(labels={"engine": "baseline"})
+        self.serde = KryoSerde(metrics=self.metrics)
         self.hdfs = SimulatedHDFS(self.serde)
-        self.shuffle_bytes = 0
-        self.shuffles = 0
+        self._c_shuffles = self.metrics.counter(
+            "baseline_shuffles_total",
+            help="Wide-transformation shuffles executed by the baseline")
+        self._c_shuffle_bytes = self.metrics.counter(
+            "baseline_shuffle_bytes_total",
+            help="Serialized bytes moved through baseline shuffles")
+
+    @property
+    def shuffles(self):
+        return self._c_shuffles.value
+
+    @property
+    def shuffle_bytes(self):
+        return self._c_shuffle_bytes.value
 
     # -- dataset creation ---------------------------------------------------------
 
@@ -289,9 +304,9 @@ class RDD:
                 if not records:
                     continue
                 blob = context.serde.dumps(records)
-                context.shuffle_bytes += len(blob)
+                context._c_shuffle_bytes.inc(len(blob))
                 received[dest].extend(context.serde.loads(blob))
-        context.shuffles += 1
+        context._c_shuffles.inc()
         return received
 
     def _partition_pairs(self, parent):

@@ -12,25 +12,52 @@ from __future__ import annotations
 
 import pickle
 
+from repro.obs import MetricsRegistry
+
 
 class KryoSerde:
     """Pickle-backed serializer with byte/call accounting."""
 
-    def __init__(self):
-        self.serialized_bytes = 0
-        self.deserialized_bytes = 0
-        self.serialize_calls = 0
-        self.deserialize_calls = 0
+    def __init__(self, metrics=None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_serialized_bytes = self.metrics.counter(
+            "baseline_serde_serialized_bytes_total",
+            help="Bytes produced by baseline serialization")
+        self._c_deserialized_bytes = self.metrics.counter(
+            "baseline_serde_deserialized_bytes_total",
+            help="Bytes consumed by baseline deserialization")
+        self._c_serialize_calls = self.metrics.counter(
+            "baseline_serde_serialize_calls_total",
+            help="Baseline serialize invocations")
+        self._c_deserialize_calls = self.metrics.counter(
+            "baseline_serde_deserialize_calls_total",
+            help="Baseline deserialize invocations")
+
+    @property
+    def serialized_bytes(self):
+        return self._c_serialized_bytes.value
+
+    @property
+    def deserialized_bytes(self):
+        return self._c_deserialized_bytes.value
+
+    @property
+    def serialize_calls(self):
+        return self._c_serialize_calls.value
+
+    @property
+    def deserialize_calls(self):
+        return self._c_deserialize_calls.value
 
     def dumps(self, obj):
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self.serialized_bytes += len(data)
-        self.serialize_calls += 1
+        self._c_serialized_bytes.inc(len(data))
+        self._c_serialize_calls.inc()
         return data
 
     def loads(self, data):
-        self.deserialized_bytes += len(data)
-        self.deserialize_calls += 1
+        self._c_deserialized_bytes.inc(len(data))
+        self._c_deserialize_calls.inc()
         return pickle.loads(data)
 
     def stats(self):
@@ -42,10 +69,10 @@ class KryoSerde:
         }
 
     def reset(self):
-        self.serialized_bytes = 0
-        self.deserialized_bytes = 0
-        self.serialize_calls = 0
-        self.deserialize_calls = 0
+        self._c_serialized_bytes.reset()
+        self._c_deserialized_bytes.reset()
+        self._c_serialize_calls.reset()
+        self._c_deserialize_calls.reset()
 
 
 class SimulatedHDFS:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 import tempfile
-import warnings
+import time
 
 from repro.catalog import CatalogJournal, CatalogManager
 from repro.engine.physical import plan_pipelines
@@ -41,7 +41,13 @@ from repro.errors import (
     PageReloadError,
     StorageError,
 )
-from repro.obs import Tracer
+from repro.obs import (
+    HealthCheck,
+    MetricsRegistry,
+    MetricsSnapshot,
+    StageProfiler,
+    Tracer,
+)
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
 from repro.memory.handle import Handle
 from repro.memory.objects import make_object_on
@@ -60,6 +66,47 @@ from repro.cluster.worker import WorkerNode
 _ROOT_VECTOR = VectorType(AnyObject)
 
 
+class _FaultCounters:
+    """Fault / recovery counters shared by the cluster and its schedulers.
+
+    Declared once against the master registry; the ``faults.*`` trace
+    counters are the mirrors of these declarations, so the trace and
+    ``cluster.metrics()`` report fault activity under matching names.
+    """
+
+    def __init__(self, metrics):
+        self.backend_crashes = metrics.counter(
+            "pc_faults_backend_crashes_total",
+            help="Back-end process crashes (injected or real)",
+            trace="faults.backend_crashes",
+        )
+        self.tasks_recovered = metrics.counter(
+            "pc_faults_tasks_recovered_total",
+            help="Worker tasks that succeeded on a retry",
+            trace="faults.tasks_recovered",
+        )
+        self.workers_blacklisted = metrics.counter(
+            "pc_faults_workers_blacklisted_total",
+            help="Workers decommissioned after exhausting retries",
+            trace="faults.workers_blacklisted",
+        )
+        self.workers_absorbed = metrics.counter(
+            "pc_faults_workers_absorbed_total",
+            help="Lost workers whose stage portion survivors absorbed",
+            trace="faults.workers_absorbed",
+        )
+        self.workers_killed = metrics.counter(
+            "pc_faults_workers_killed_total",
+            help="Workers lost entirely (front-end storage included)",
+            trace="faults.workers_killed",
+        )
+        self.pages_redistributed = metrics.counter(
+            "pc_faults_pages_redistributed_total",
+            help="Pages moved off dead workers onto survivors",
+            trace="faults.pages_redistributed",
+        )
+
+
 class PCCluster:
     """One master plus ``n_workers`` simulated worker nodes."""
 
@@ -67,7 +114,7 @@ class PCCluster:
                  worker_memory=64 << 20, batch_size=DEFAULT_BATCH_SIZE,
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
-                 fault_injector=None, retry_policy=None):
+                 fault_injector=None, retry_policy=None, profiling=True):
         # The master's durable territory: the catalog journals every DDL
         # and replica-map mutation (write-ahead) under the spill root, so
         # recover() can rebuild its state after a simulated master crash.
@@ -81,11 +128,17 @@ class PCCluster:
         )
         self.catalog = CatalogManager(journal=self.journal)
         self.tracer = Tracer()
+        # The master process's metrics registry.  Every master-side
+        # component (network, replication, scheduler, fault recovery)
+        # publishes here; each worker front-end has its own registry and
+        # metrics() merges them all into one cluster-wide snapshot.
+        self.metrics_registry = MetricsRegistry(tracer=self.tracer)
+        self.fault_metrics = _FaultCounters(self.metrics_registry)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
         self.network = SimulatedNetwork(
             tracer=self.tracer, fault_injector=fault_injector,
-            retry_policy=self.retry_policy,
+            retry_policy=self.retry_policy, metrics=self.metrics_registry,
         )
         self.page_size = page_size
         self.batch_size = batch_size
@@ -107,8 +160,34 @@ class PCCluster:
             self.storage_manager.attach_server(worker.storage)
         self.replication = ReplicationManager(
             self.catalog, self.storage_manager, self.network,
-            tracer=self.tracer,
+            tracer=self.tracer, metrics=self.metrics_registry,
         )
+        # The per-stage / per-operator profiler observes every worker's
+        # buffer pool; profiling=False drops it wholesale (zero overhead).
+        self.profiler = None
+        if profiling:
+            self.profiler = StageProfiler(
+                registry=self.metrics_registry, tracer=self.tracer,
+                pools=[w.storage.pool for w in self.workers],
+            )
+        self._c_jobs = self.metrics_registry.counter(
+            "pc_sched_jobs_total", help="Jobs executed by the scheduler",
+        )
+        self._h_job_seconds = self.metrics_registry.histogram(
+            "pc_sched_job_seconds", help="Wall seconds per executed job",
+        )
+        self._g_workers_active = self.metrics_registry.gauge(
+            "pc_cluster_workers_active", help="Workers not blacklisted",
+        )
+        self._g_workers_blacklisted = self.metrics_registry.gauge(
+            "pc_cluster_workers_blacklisted", help="Blacklisted workers",
+        )
+        self._g_replication_satisfied = self.metrics_registry.gauge(
+            "pc_cluster_replication_satisfied",
+            help="1 when every replica-mapped page is at its set's "
+                 "replication factor",
+        )
+        self.metrics_registry.on_collect(self._collect_cluster_gauges)
         self.python_outputs = {}  # (db, set) -> python values (non-PC sinks)
         self.last_program = None
         self.last_plan = None
@@ -224,7 +303,7 @@ class PCCluster:
                 )
         self.storage_manager.detach_server(worker_id)
         self.replication.restore_replication()
-        self.tracer.add("faults.pages_redistributed", moved)
+        self.fault_metrics.pages_redistributed.inc(moved)
         return moved
 
     def kill_worker(self, worker_id, reason=None):
@@ -259,12 +338,14 @@ class PCCluster:
                     [w for w in meta.partitions if w != worker_id],
                 )
         created = self.replication.restore_replication()
-        self.tracer.event(
+        # The counter is incremented inside the event span so the trace
+        # mirror lands on the "kill" node, as the event counters used to.
+        with self.tracer.span(
             "kill", kind="fault",
             detail="worker %s lost entirely (%s); %d replica(s) re-created"
             % (worker_id, reason or "killed", created),
-            counters={"faults.workers_killed": 1},
-        )
+        ):
+            self.fault_metrics.workers_killed.inc()
         return created
 
     # -- master crash recovery -----------------------------------------------------
@@ -305,6 +386,7 @@ class PCCluster:
         afterwards (even when a stage raised — partial traces are often
         the most interesting ones).
         """
+        started = time.perf_counter()
         with self.tracer.span(job_name, kind="job") as job_span:
             with self.tracer.span("compile", kind="phase"):
                 program = compile_computations(sinks)
@@ -327,6 +409,8 @@ class PCCluster:
                 job_span.inc("job.stages", len(scheduler.job_log))
                 job_span.inc("job.pipelines", len(plan))
                 job_span.inc("job.workers", len(self.active_workers))
+                self._c_jobs.inc()
+                self._h_job_seconds.observe(time.perf_counter() - started)
         return job_log
 
     def _choose_build_sides(self, program):
@@ -451,25 +535,6 @@ class PCCluster:
                     merged[key] = value
         return merged
 
-    # -- deprecated read API (thin shims) ---------------------------------------------------
-
-    def scan(self, database, set_name):
-        """Deprecated: use :meth:`read`."""
-        warnings.warn(
-            "PCCluster.scan is deprecated; use PCCluster.read(database, "
-            "set_name)", DeprecationWarning, stacklevel=2,
-        )
-        return self.read(database, set_name)
-
-    def read_aggregate_set(self, database, set_name, comp=None):
-        """Deprecated: use :meth:`read` with ``as_pairs=True``."""
-        warnings.warn(
-            "PCCluster.read_aggregate_set is deprecated; use "
-            "PCCluster.read(database, set_name, as_pairs=True, comp=comp)",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.read(database, set_name, as_pairs=True, comp=comp)
-
     # -- introspection ------------------------------------------------------------------------
 
     @property
@@ -488,6 +553,56 @@ class PCCluster:
                 for worker in self.active_workers
             },
         }
+
+    def _collect_cluster_gauges(self):
+        self._g_workers_active.set(len(self.active_workers))
+        self._g_workers_blacklisted.set(len(self.blacklist))
+        self._g_replication_satisfied.set(
+            1 if self._replication_satisfied() else 0
+        )
+
+    def _replication_satisfied(self):
+        """Whether every replica-mapped page is at its set's factor."""
+        live = len(self.storage_manager.worker_ids)
+        for meta in self.catalog.list_sets():
+            if not meta.pages:
+                continue
+            want = min(meta.replication, live)
+            factors = self.replication.replication_factors(
+                meta.database, meta.name
+            )
+            if any(count < want for count in factors.values()):
+                return False
+        return True
+
+    def metrics(self):
+        """One merged :class:`~repro.obs.MetricsSnapshot` of the cluster.
+
+        The master registry (network, replication, scheduler, faults) and
+        every worker front-end's registry (buffer pools, engines — each
+        stamped with its ``worker`` label) collapse into a single
+        snapshot, ready for ``to_prometheus()`` / ``to_json()`` /
+        ``render()``.
+        """
+        return MetricsSnapshot.merge(
+            [self.metrics_registry.snapshot()]
+            + [worker.metrics.snapshot() for worker in self.workers]
+        )
+
+    def health(self, check=None, snapshot=None):
+        """Evaluate health rules against the current metrics.
+
+        Returns the list of :class:`~repro.obs.HealthStatus` results from
+        ``check`` (default: :meth:`HealthCheck.default`).
+        """
+        check = check if check is not None else HealthCheck.default()
+        return check.evaluate(
+            snapshot if snapshot is not None else self.metrics()
+        )
+
+    def healthy(self, check=None):
+        """Whether every health rule passes right now."""
+        return all(status.ok for status in self.health(check=check))
 
 
 class ClusterLoader:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.errors import PageCorruptionError, TransferDroppedError
-from repro.obs import Tracer
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage.replication import corrupt_bytes, page_checksum
 
 
@@ -53,28 +53,118 @@ def estimate_value_bytes(value):
 class SimulatedNetwork:
     """Byte-accounted message passing between simulated nodes."""
 
-    def __init__(self, tracer=None, fault_injector=None, retry_policy=None):
+    def __init__(self, tracer=None, fault_injector=None, retry_policy=None,
+                 metrics=None):
         self.tracer = tracer or Tracer()
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
-        self.messages = 0
-        self.bytes_total = 0
-        self.bytes_zero_copy = 0  # whole PC pages, no serde
-        self.bytes_rows = 0  # structured rows (join shuffles)
-        self.by_link = defaultdict(int)  # (src, dst) -> bytes
-        self.transfers_dropped = 0
-        self.transfers_corrupted = 0
-        self.transfer_retries = 0
-        self.delay_s_total = 0.0
+        # All accounting lives in the metrics registry; each counter
+        # declares its trace-mirror name once, so the trace counters,
+        # the Prometheus series, and stats() cannot drift apart.
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry(tracer=self.tracer)
+        self._c_messages = self.metrics.counter(
+            "pc_net_messages_total", help="Simulated network transfers",
+            trace="net.messages",
+        )
+        self._c_bytes_total = self.metrics.counter(
+            "pc_net_bytes_total", help="Bytes moved over the network",
+            trace="net.bytes_total",
+        )
+        self._c_bytes_zero_copy = self.metrics.counter(
+            "pc_net_bytes_zero_copy_total",
+            help="Bytes moved as whole PC pages (no serde)",
+            trace="net.bytes_zero_copy",
+        )
+        self._c_bytes_rows = self.metrics.counter(
+            "pc_net_bytes_rows_total",
+            help="Bytes moved as structured rows (join shuffles)",
+            trace="net.bytes_rows",
+        )
+        self._c_link_bytes = self.metrics.counter(
+            "pc_net_link_bytes_total",
+            help="Bytes moved per (src, dst) link",
+            labelnames=("src", "dst"),
+            trace="net.link.{src}->{dst}",
+        )
+        self._c_transfers_dropped = self.metrics.counter(
+            "pc_net_transfers_dropped_total",
+            help="Transfers dropped by fault injection",
+            trace="net.transfers_dropped",
+        )
+        self._c_transfers_corrupted = self.metrics.counter(
+            "pc_net_transfers_corrupted_total",
+            help="Transfers delivered with bit-flipped payloads",
+            trace="net.transfers_corrupted",
+        )
+        self._c_transfer_retries = self.metrics.counter(
+            "pc_net_transfer_retries_total",
+            help="Re-sends after drops or detected corruption",
+            trace="net.transfer_retries",
+        )
+        self._c_delay_events = self.metrics.counter(
+            "pc_net_delay_events_total",
+            help="Transfers hit by an injected delay",
+            trace="net.delay_events",
+        )
+        self._c_delay_ms = self.metrics.counter(
+            "pc_net_delay_ms_total",
+            help="Simulated delay in whole milliseconds",
+            trace="net.delay_ms",
+        )
+        self._c_delay_seconds = self.metrics.counter(
+            "pc_net_delay_seconds_total",
+            help="Simulated delay in (float) seconds",
+        )
+
+    # Legacy counter attributes: read-only views over the registry.
+
+    @property
+    def messages(self):
+        return self._c_messages.value
+
+    @property
+    def bytes_total(self):
+        return self._c_bytes_total.value
+
+    @property
+    def bytes_zero_copy(self):
+        return self._c_bytes_zero_copy.value
+
+    @property
+    def bytes_rows(self):
+        return self._c_bytes_rows.value
+
+    @property
+    def by_link(self):
+        """Fresh ``{(src, dst): bytes}`` dict — mutating it cannot touch
+        the network's own accounting."""
+        link = defaultdict(int)
+        for (src, dst), nbytes in self._c_link_bytes.series().items():
+            link[(src, dst)] = nbytes
+        return link
+
+    @property
+    def transfers_dropped(self):
+        return self._c_transfers_dropped.value
+
+    @property
+    def transfers_corrupted(self):
+        return self._c_transfers_corrupted.value
+
+    @property
+    def transfer_retries(self):
+        return self._c_transfer_retries.value
+
+    @property
+    def delay_s_total(self):
+        return self._c_delay_seconds.value
 
     def _record(self, src, dst, nbytes, counter):
-        self.messages += 1
-        self.bytes_total += nbytes
-        self.by_link[(src, dst)] += nbytes
-        self.tracer.add("net.messages")
-        self.tracer.add("net.bytes_total", nbytes)
-        self.tracer.add(counter, nbytes)
-        self.tracer.add("net.link.%s->%s" % (src, dst), nbytes)
+        self._c_messages.inc()
+        self._c_bytes_total.inc(nbytes)
+        self._c_link_bytes.inc(nbytes, src=src, dst=dst)
+        counter.inc(nbytes)
 
     def _retry_budget(self):
         return (
@@ -97,14 +187,13 @@ class SimulatedNetwork:
                     src, dst, nbytes
                 )
             if delay_s:
-                self.delay_s_total += delay_s
-                self.tracer.add("net.delay_events")
-                self.tracer.add("net.delay_ms", int(delay_s * 1000))
+                self._c_delay_seconds.inc(delay_s)
+                self._c_delay_events.inc()
+                self._c_delay_ms.inc(int(delay_s * 1000))
             if verdict != "drop":
                 self._record(src, dst, nbytes, counter)
                 return verdict
-            self.transfers_dropped += 1
-            self.tracer.add("net.transfers_dropped")
+            self._c_transfers_dropped.inc()
             budget = self._retry_budget()
             if attempts >= budget:
                 raise TransferDroppedError(
@@ -112,8 +201,7 @@ class SimulatedNetwork:
                     "of %d exhausted" % (src, dst, nbytes, budget)
                 )
             attempts += 1
-            self.transfer_retries += 1
-            self.tracer.add("net.transfer_retries")
+            self._c_transfer_retries.inc()
 
     def ship_page(self, src, dst, data, checksum=None):
         """Move a PC page's bytes; zero serialization on either end.
@@ -129,13 +217,11 @@ class SimulatedNetwork:
         nbytes = len(data)
         attempts = 0
         while True:
-            verdict = self._deliver(src, dst, nbytes, "net.bytes_zero_copy")
-            self.bytes_zero_copy += nbytes
+            verdict = self._deliver(src, dst, nbytes, self._c_bytes_zero_copy)
             payload = data
             if verdict == "corrupt":
                 payload = corrupt_bytes(data)
-                self.transfers_corrupted += 1
-                self.tracer.add("net.transfers_corrupted")
+                self._c_transfers_corrupted.inc()
             if checksum is None or page_checksum(payload) == checksum:
                 return payload
             budget = self._retry_budget()
@@ -146,8 +232,7 @@ class SimulatedNetwork:
                     % (src, dst, nbytes, budget)
                 )
             attempts += 1
-            self.transfer_retries += 1
-            self.tracer.add("net.transfer_retries")
+            self._c_transfer_retries.inc()
 
     def ship_rows(self, src, dst, rows):
         """Move structured rows (the join-shuffle path).
@@ -157,8 +242,7 @@ class SimulatedNetwork:
         delivered unchanged.
         """
         nbytes = sum(estimate_value_bytes(row) for row in rows)
-        self._deliver(src, dst, nbytes, "net.bytes_rows")
-        self.bytes_rows += nbytes
+        self._deliver(src, dst, nbytes, self._c_bytes_rows)
         return rows
 
     def stats(self):
@@ -173,6 +257,8 @@ class SimulatedNetwork:
             "delay_s_total": self.delay_s_total,
             # Serializable per-link breakdown: "src->dst" -> bytes.  This
             # is what exposes skewed shuffle partners in cluster.stats().
+            # Built fresh on every call — callers mutating the returned
+            # dict cannot corrupt the network's accounting.
             "by_link": {
                 "%s->%s" % link: nbytes
                 for link, nbytes in self.by_link.items()
@@ -180,12 +266,11 @@ class SimulatedNetwork:
         }
 
     def reset(self):
-        self.messages = 0
-        self.bytes_total = 0
-        self.bytes_zero_copy = 0
-        self.bytes_rows = 0
-        self.by_link.clear()
-        self.transfers_dropped = 0
-        self.transfers_corrupted = 0
-        self.transfer_retries = 0
-        self.delay_s_total = 0.0
+        for counter in (
+            self._c_messages, self._c_bytes_total, self._c_bytes_zero_copy,
+            self._c_bytes_rows, self._c_link_bytes,
+            self._c_transfers_dropped, self._c_transfers_corrupted,
+            self._c_transfer_retries, self._c_delay_events,
+            self._c_delay_ms, self._c_delay_seconds,
+        ):
+            counter.reset()

@@ -106,6 +106,8 @@ class DistributedScheduler:
         self.broadcast_threshold = broadcast_threshold
         self.tracer = cluster.tracer
         self.faults = cluster.fault_injector
+        self.fault_metrics = cluster.fault_metrics
+        self.profiler = cluster.profiler
         self.retry_policy = cluster.retry_policy
         self.join_modes = {}  # join output vlist -> "broadcast"|"partition"
         self.job_log = []
@@ -148,8 +150,11 @@ class DistributedScheduler:
             engine = PipelineEngine(
                 self.program, self.plan, scan_reader,
                 batch_size=self.cluster.batch_size,
-                tracer=self.tracer,
+                tracer=self.tracer, profiler=self.profiler,
             )
+            # Engine counters stay exact per instance; binding publishes
+            # their deltas into the worker's registry as pc_engine_*.
+            engine.metrics.bind(worker.metrics)
             checkpoint = self._checkpoints.get(worker.worker_id)
             if checkpoint is not None:
                 engine.hash_tables.update(checkpoint["hash_tables"])
@@ -253,10 +258,10 @@ class DistributedScheduler:
                         span.inc("task.retry_attempt")
                     worker.dispatch(attempt)
                 if attempts > 1:
-                    self.tracer.add("faults.tasks_recovered")
+                    self.fault_metrics.tasks_recovered.inc()
                 return
             except WorkerCrashError as crash:
-                self.tracer.add("faults.backend_crashes")
+                self.fault_metrics.backend_crashes.inc()
                 if abort is not None:
                     abort()
                 timed_out = policy.timed_out(started)
@@ -310,15 +315,14 @@ class DistributedScheduler:
         moved = self.cluster.decommission_worker(
             lost.worker_id, reason=lost.reason
         )
-        self.tracer.event(
+        # decommission_worker already counted the redistributed pages;
+        # the blacklist event span carries only the blacklisting itself.
+        with self.tracer.span(
             "blacklist", kind="fault",
             detail="worker %s blacklisted (%s); %d page(s) redistributed"
             % (lost.worker_id, lost.reason, moved),
-            counters={
-                "faults.workers_blacklisted": 1,
-                "faults.pages_redistributed": moved,
-            },
-        )
+        ):
+            self.fault_metrics.workers_blacklisted.inc()
         self.job_log.append(JobStage(
             "WorkerBlacklistedEvent",
             "%s decommissioned; job restarting on %d worker(s)"
@@ -342,7 +346,12 @@ class DistributedScheduler:
         """Record one job stage: a job-log entry plus its trace span."""
         stage = JobStage(kind, detail)
         self.job_log.append(stage)
-        with self.tracer.span(kind, kind="stage", detail=detail) as span:
+        profiled = (
+            self.profiler.stage(kind) if self.profiler is not None
+            else contextlib.nullcontext()
+        )
+        with self.tracer.span(kind, kind="stage", detail=detail) as span, \
+                profiled:
             stage.span = span
             self._current_stage = stage
             try:
@@ -386,6 +395,7 @@ class DistributedScheduler:
                 engine = self.engine_for(worker)
                 for batch in batches_factory():
                     engine.metrics.batches += 1
+                    engine.metrics.rows_in += len(batch)
                     self.tracer.add("engine.batches")
                     self.tracer.add("engine.rows_in", len(batch))
                     current = batch
@@ -422,6 +432,7 @@ class DistributedScheduler:
                 engine = sink.engine
                 for batch in batches_factory():
                     engine.metrics.batches += 1
+                    engine.metrics.rows_in += len(batch)
                     pipeline = _StagesView(stages)
                     engine._process_batch(pipeline, batch, sink)
                 sink.finish()
@@ -578,18 +589,15 @@ class DistributedScheduler:
             lost.worker_id, reason=lost.reason
         )
         self._checkpoints.pop(lost.worker_id, None)
-        self.tracer.event(
+        with self.tracer.span(
             "absorb", kind="fault",
             detail="worker %s lost (%s); %d orphaned page(s) absorbed by "
             "survivors, no restart" % (
                 lost.worker_id, lost.reason, len(orphans)
             ),
-            counters={
-                "faults.workers_blacklisted": 1,
-                "faults.workers_absorbed": 1,
-                "faults.pages_redistributed": moved,
-            },
-        )
+        ):
+            self.fault_metrics.workers_blacklisted.inc()
+            self.fault_metrics.workers_absorbed.inc()
         self.job_log.append(JobStage(
             "WorkerAbsorbedEvent",
             "%s decommissioned mid-stage; %d orphaned page(s) absorbed "

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.catalog import LocalCatalog
 from repro.errors import WorkerCrashError
+from repro.obs import MetricsRegistry
 from repro.storage import LocalStorageServer
 
 
@@ -54,12 +55,18 @@ class WorkerNode:
                  page_size, spill_dir=None, tracer=None,
                  fault_injector=None):
         self.worker_id = worker_id
-        # Front-end components (survive backend crashes).
+        # Front-end components (survive backend crashes).  The worker's
+        # metrics registry carries a constant ``worker`` label, so the
+        # cluster-wide merge keeps per-worker attribution.
         self.local_catalog = LocalCatalog(master_catalog)
+        self.metrics = MetricsRegistry(
+            labels={"worker": worker_id}, tracer=tracer
+        )
         self.storage = LocalStorageServer(
             worker_id, capacity_bytes, page_size=page_size,
             registry=self.local_catalog.registry, spill_dir=spill_dir,
             tracer=tracer, fault_injector=fault_injector,
+            metrics=self.metrics,
         )
         self.backend = BackendProcess(self)
         self.refork_count = 0

@@ -42,29 +42,73 @@ from repro.tcap.ir import (
 
 
 class EngineMetrics:
-    """Counters surfaced by tests and the Figure 4/5 benches."""
+    """Counters surfaced by tests and the Figure 4/5 benches.
+
+    The fields stay exact per engine instance (tests assert per-run
+    values); :meth:`bind` additionally publishes every increase into a
+    metrics registry as cumulative ``pc_engine_*`` counters, so the
+    cluster-wide snapshot sees engine activity without disturbing the
+    per-instance numbers.
+    """
+
+    FIELDS = ("batches", "rows_in", "stage_invocations", "pages_written",
+              "zombie_pages", "pre_aggregated_keys", "probe_matches")
 
     def __init__(self):
-        self.batches = 0
-        self.rows_in = 0
-        self.stage_invocations = 0
-        self.pages_written = 0
-        self.zombie_pages = 0
-        self.pre_aggregated_keys = 0
-        self.probe_matches = 0
+        object.__setattr__(self, "_counters", None)
+        for name in self.FIELDS:
+            object.__setattr__(self, name, 0)
+
+    def bind(self, registry):
+        """Mirror future (and already-accumulated) increases into
+        ``registry`` as ``pc_engine_<field>_total`` counters."""
+        counters = {
+            name: registry.counter(
+                "pc_engine_%s_total" % name,
+                help="Pipeline-engine counter: %s" % name.replace("_", " "),
+            )
+            for name in self.FIELDS
+        }
+        for name, counter in counters.items():
+            accumulated = getattr(self, name)
+            if accumulated:
+                counter.inc(accumulated)
+        object.__setattr__(self, "_counters", counters)
+        return self
+
+    def __setattr__(self, name, value):
+        counters = self._counters
+        if counters is not None and name in counters:
+            delta = value - getattr(self, name, 0)
+            if delta > 0:
+                counters[name].inc(delta)
+        object.__setattr__(self, name, value)
 
     def as_dict(self):
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+
+#: Operator labels for the profiler's ``pc_op_seconds`` histogram.
+_OPERATOR_NAMES = {
+    ApplyStmt: "apply",
+    FilterStmt: "filter",
+    HashStmt: "hash",
+    FlattenStmt: "flatten",
+    JoinStmt: "join",
+}
 
 
 class PipelineEngine:
     """Executes a physical plan over one worker's data."""
 
     def __init__(self, program, plan, scan_reader, batch_size=None,
-                 output_sink_factory=None, metrics=None, tracer=None):
+                 output_sink_factory=None, metrics=None, tracer=None,
+                 profiler=None):
         """``scan_reader(scan_stmt)`` yields the objects of a stored set;
         ``output_sink_factory(output_stmt)`` builds the sink for OUTPUT
-        statements (defaults to collecting Python lists).
+        statements (defaults to collecting Python lists).  With a
+        ``profiler`` every TCAP operator application is timed into the
+        ``pc_op_seconds{operator=...}`` histograms.
         """
         self.program = program
         self.plan = plan
@@ -72,6 +116,7 @@ class PipelineEngine:
         self.batch_size = batch_size or DEFAULT_BATCH_SIZE
         self.metrics = metrics or EngineMetrics()
         self.tracer = tracer or Tracer()
+        self.profiler = profiler
         self.hash_tables = {}  # join output vlist -> {hash: [row tuples]}
         self.store = {}  # materialized vlist -> {column: list}
         self.outputs = {}  # (db, set) -> list (when using the default sink)
@@ -137,6 +182,14 @@ class PipelineEngine:
         return current
 
     def _apply_stage(self, stage, batch):
+        if self.profiler is not None:
+            return self.profiler.operator(
+                _OPERATOR_NAMES.get(type(stage), type(stage).__name__),
+                self._apply_stage_inner, stage, batch,
+            )
+        return self._apply_stage_inner(stage, batch)
+
+    def _apply_stage_inner(self, stage, batch):
         if isinstance(stage, ApplyStmt):
             fn = self.program.stage_fn(stage.computation, stage.stage)
             inputs = [batch.column(c) for c in stage.apply_columns]

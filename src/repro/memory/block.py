@@ -82,10 +82,13 @@ class AllocationBlock:
         "freed_bytes",
         "alloc_count",
         "free_count",
+        "metrics",
+        "_m_allocs",
+        "_m_frees",
     )
 
     def __init__(self, size, policy=LIGHTWEIGHT_REUSE, registry=None,
-                 managed=True, buf=None, on_empty=None):
+                 managed=True, buf=None, on_empty=None, metrics=None):
         if buf is None:
             if size < BLOCK_HEADER_SIZE + OBJECT_HEADER_SIZE:
                 raise ValueError("block size %d too small" % size)
@@ -108,6 +111,23 @@ class AllocationBlock:
         self.freed_bytes = 0
         self.alloc_count = 0
         self.free_count = 0
+        # Optional *aggregate* allocator metrics (a MetricsRegistry).  The
+        # per-block counters above stay exact plain ints — stats() is the
+        # per-block view, the registry sums allocator work pool-wide.
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_allocs = metrics.counter(
+                "pc_alloc_allocations_total",
+                help="Objects allocated across all blocks")
+            self._m_frees = metrics.counter(
+                "pc_alloc_frees_total",
+                help="Objects freed across all blocks")
+            metrics.counter(
+                "pc_alloc_blocks_total",
+                help="Allocation blocks created").inc()
+        else:
+            self._m_allocs = None
+            self._m_frees = None
 
     # -- introspection ------------------------------------------------------
 
@@ -189,6 +209,8 @@ class AllocationBlock:
         if self.managed and refcount >= 0:
             layout.write_active_objects(self.buf, self.active_objects + 1)
         self.alloc_count += 1
+        if self._m_allocs is not None:
+            self._m_allocs.inc()
         return offset
 
     def _bucket_for(self, total):
@@ -240,6 +262,8 @@ class AllocationBlock:
         total = max(align8(OBJECT_HEADER_SIZE + payload_size), 24)
         layout.write_refcount(self.buf, offset, REFCOUNT_FREED)
         self.free_count += 1
+        if self._m_frees is not None:
+            self._m_frees.inc()
         if self.managed and refcount >= 0:
             remaining = self.active_objects - 1
             layout.write_active_objects(self.buf, remaining)
@@ -323,7 +347,7 @@ class AllocationBlock:
         return bytes(self.buf[: self.used])
 
     @classmethod
-    def from_bytes(cls, data, registry=None, managed=False):
+    def from_bytes(cls, data, registry=None, managed=False, metrics=None):
         """Reconstitute a block shipped from another process.
 
         The returned block is *un-managed* by default — exactly the
@@ -340,6 +364,7 @@ class AllocationBlock:
             registry=registry,
             managed=managed,
             buf=buf,
+            metrics=metrics,
         )
         return block
 

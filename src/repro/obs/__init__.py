@@ -1,6 +1,39 @@
-"""Observability: job traces, typed counters, and report rendering."""
+"""Observability: job traces, typed metrics, profiling, and exposition."""
 
+from repro.obs.export import (
+    HealthCheck,
+    HealthStatus,
+    render_metrics,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    exponential_buckets,
+)
+from repro.obs.profiler import StageProfiler
 from repro.obs.report import render_trace
 from repro.obs.tracer import Span, Trace, Tracer
 
-__all__ = ["Span", "Trace", "Tracer", "render_trace"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HealthCheck",
+    "HealthStatus",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "StageProfiler",
+    "Trace",
+    "Tracer",
+    "exponential_buckets",
+    "render_metrics",
+    "render_trace",
+    "to_json",
+    "to_prometheus",
+]

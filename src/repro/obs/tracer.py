@@ -85,6 +85,25 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a span (and its subtree) from :meth:`to_dict` output.
+
+        The reconstructed span carries the serialized duration (anchored
+        at ``start = 0``), counters, and children; derived quantities
+        (``totals``) recompute identically, so a trace round-trips
+        through JSON bit-for-bit.
+        """
+        span = cls(payload["name"], kind=payload.get("kind", "span"),
+                   detail=payload.get("detail"))
+        span.start = 0.0
+        span.end = payload.get("duration_s", 0.0)
+        span.counters = dict(payload.get("counters", {}))
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children", [])
+        ]
+        return span
+
     def __repr__(self):
         return "<Span %s:%s %.3fms>" % (
             self.kind, self.name, self.duration_s * 1e3
@@ -113,6 +132,16 @@ class Trace:
 
     def to_json(self, indent=2):
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a trace from :meth:`to_dict` output."""
+        return cls(Span.from_dict(payload))
+
+    @classmethod
+    def from_json(cls, text):
+        """Parse a trace serialized with :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
 
 class Tracer:

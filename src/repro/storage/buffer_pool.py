@@ -22,7 +22,7 @@ from repro.errors import (
     PageReloadError,
     StorageError,
 )
-from repro.obs import Tracer
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.replication import corrupt_bytes, page_checksum
 
@@ -32,7 +32,7 @@ class BufferPool:
 
     def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
                  registry=None, spill_dir=None, tracer=None,
-                 fault_injector=None):
+                 fault_injector=None, metrics=None):
         if capacity_bytes < page_size:
             raise StorageError("buffer pool smaller than one page")
         self.capacity_bytes = capacity_bytes
@@ -44,6 +44,9 @@ class BufferPool:
         self._lru = OrderedDict()  # page_id -> None, oldest first
         self._next_page_id = 1
         self._in_memory_bytes = 0
+        #: high-water mark of in-memory bytes; the profiler resets and
+        #: reads it per stage/operator scope (plain attribute by design).
+        self.peak_in_memory_bytes = 0
         if spill_dir is None:
             self._spill_dir = tempfile.mkdtemp(prefix="pc-spill-")
         else:
@@ -51,14 +54,104 @@ class BufferPool:
             self._spill_dir = spill_dir
         self._spilled = {}  # page_id -> file path
         self._spill_checksums = {}  # page_id -> CRC32 of the spill file
-        # Statistics (surfaced by the figure-4/5 benches and tests).
-        self.evictions = 0
-        self.spills = 0
-        self.reloads = 0
-        self.reload_failures = 0
-        self.checksum_failures = 0
-        self.pages_created = 0
-        self.pins = 0
+        # Statistics live in the metrics registry; the metric name, the
+        # trace-counter mirror, and the stats() key each derive from one
+        # declaration here (drift-proof by construction).
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry(tracer=self.tracer)
+        self._c_pages_created = self.metrics.counter(
+            "pc_pool_pages_created_total",
+            help="Pages allocated or adopted into the buffer pool",
+            trace="pool.pages_created",
+        )
+        self._c_pins = self.metrics.counter(
+            "pc_pool_pages_pinned_total",
+            help="Pin operations (page touches)",
+            trace="pool.pages_pinned",
+        )
+        self._c_evictions = self.metrics.counter(
+            "pc_pool_evictions_total",
+            help="LRU evictions under memory pressure",
+            trace="pool.evictions",
+        )
+        self._c_spills = self.metrics.counter(
+            "pc_pool_spills_total",
+            help="Dirty/unspilled pages written to the spill directory",
+            trace="pool.spills",
+        )
+        self._c_reloads = self.metrics.counter(
+            "pc_pool_reloads_total",
+            help="Spilled pages read back on demand",
+            trace="pool.reloads",
+        )
+        self._c_reload_failures = self.metrics.counter(
+            "pc_pool_reload_failures_total",
+            help="Injected/real I/O faults reloading spilled pages",
+            trace="pool.reload_failures",
+        )
+        self._c_checksum_failures = self.metrics.counter(
+            "pc_pool_checksum_failures_total",
+            help="Spilled pages failing their CRC32 on reload",
+            trace="pool.checksum_failures",
+        )
+        self._g_in_memory = self.metrics.gauge(
+            "pc_pool_in_memory_bytes",
+            help="Bytes currently resident in the pool",
+        )
+        self._g_capacity = self.metrics.gauge(
+            "pc_pool_capacity_bytes", help="Pool byte budget",
+        )
+        self._g_pages = self.metrics.gauge(
+            "pc_pool_pages", help="Pages known to the pool (any state)",
+        )
+        self._g_peak = self.metrics.gauge(
+            "pc_pool_peak_bytes",
+            help="High-water mark of resident bytes since last profiler "
+                 "scope reset",
+        )
+        self.metrics.on_collect(self._collect_gauges)
+
+    def _collect_gauges(self):
+        self._g_in_memory.set(self._in_memory_bytes)
+        self._g_capacity.set(self.capacity_bytes)
+        self._g_pages.set(len(self._pages))
+        self._g_peak.set(self.peak_in_memory_bytes)
+
+    def _grow_resident(self, nbytes):
+        self._in_memory_bytes += nbytes
+        if self._in_memory_bytes > self.peak_in_memory_bytes:
+            self.peak_in_memory_bytes = self._in_memory_bytes
+
+    # Legacy counter attributes: thin read-only views over the registry,
+    # so `pool.spills` and `pool.stats()["spills"]` cannot disagree.
+
+    @property
+    def pages_created(self):
+        return self._c_pages_created.value
+
+    @property
+    def pins(self):
+        return self._c_pins.value
+
+    @property
+    def evictions(self):
+        return self._c_evictions.value
+
+    @property
+    def spills(self):
+        return self._c_spills.value
+
+    @property
+    def reloads(self):
+        return self._c_reloads.value
+
+    @property
+    def reload_failures(self):
+        return self._c_reload_failures.value
+
+    @property
+    def checksum_failures(self):
+        return self._c_checksum_failures.value
 
     # -- page lifecycle -----------------------------------------------------------
 
@@ -68,15 +161,15 @@ class BufferPool:
         self._make_room(size)
         page_id = self._next_page_id
         self._next_page_id += 1
-        kwargs = {"registry": self.registry, "set_key": set_key}
+        kwargs = {"registry": self.registry, "set_key": set_key,
+                  "metrics": self.metrics}
         if policy is not None:
             kwargs["policy"] = policy
         page = Page.fresh(page_id, size, **kwargs)
         page.pin_count = 1
         self._pages[page_id] = page
-        self._in_memory_bytes += size
-        self.pages_created += 1
-        self.tracer.add("pool.pages_created")
+        self._grow_resident(size)
+        self._c_pages_created.inc()
         return page
 
     def adopt_page(self, data, set_key=None):
@@ -87,14 +180,14 @@ class BufferPool:
         # occupies its full declared size, so budget for that, not for
         # len(data).
         page = Page.from_bytes(
-            page_id, data, registry=self.registry, set_key=set_key
+            page_id, data, registry=self.registry, set_key=set_key,
+            metrics=self.metrics,
         )
         self._make_room(page.size)
         page.pin_count = 1
         self._pages[page_id] = page
-        self._in_memory_bytes += page.size
-        self.pages_created += 1
-        self.tracer.add("pool.pages_created")
+        self._grow_resident(page.size)
+        self._c_pages_created.inc()
         return page
 
     def pin(self, page_id):
@@ -106,8 +199,7 @@ class BufferPool:
             self._reload(page)
         page.pin_count += 1
         self._lru.pop(page_id, None)
-        self.pins += 1
-        self.tracer.add("pool.pages_pinned")
+        self._c_pins.inc()
         return page
 
     def unpin(self, page_id, dirty=False):
@@ -149,8 +241,7 @@ class BufferPool:
             self._evict(self._pages[victim_id])
 
     def _evict(self, page):
-        self.evictions += 1
-        self.tracer.add("pool.evictions")
+        self._c_evictions.inc()
         if page.dirty or page.page_id not in self._spilled:
             path = os.path.join(self._spill_dir, "page-%d" % page.page_id)
             data = page.to_bytes()
@@ -158,8 +249,7 @@ class BufferPool:
                 f.write(data)
             self._spilled[page.page_id] = path
             self._spill_checksums[page.page_id] = page_checksum(data)
-            self.spills += 1
-            self.tracer.add("pool.spills")
+            self._c_spills.inc()
             page.dirty = False
         self._in_memory_bytes -= page.size
         page.block = None
@@ -176,8 +266,7 @@ class BufferPool:
         ):
             # The spill file is untouched, so a later pin can retry the
             # reload — inside a job the scheduler's stage retry does.
-            self.reload_failures += 1
-            self.tracer.add("pool.reload_failures")
+            self._c_reload_failures.inc()
             raise PageReloadError(
                 "injected I/O fault reloading spilled page %d" % page.page_id
             )
@@ -200,8 +289,7 @@ class BufferPool:
                 f.write(data)
         expected = self._spill_checksums.get(page.page_id)
         if expected is not None and page_checksum(data) != expected:
-            self.checksum_failures += 1
-            self.tracer.add("pool.checksum_failures")
+            self._c_checksum_failures.inc()
             raise PageCorruptionError(
                 "spilled page %d failed its CRC32 check on reload"
                 % page.page_id
@@ -210,13 +298,13 @@ class BufferPool:
         # smaller than the block it reconstitutes into; budget the real
         # in-memory footprint, not the file size.
         reloaded = Page.from_bytes(
-            page.page_id, data, registry=self.registry, set_key=page.set_key
+            page.page_id, data, registry=self.registry,
+            set_key=page.set_key, metrics=self.metrics,
         )
         self._make_room(reloaded.size)
         page.block = reloaded.block
-        self._in_memory_bytes += reloaded.size
-        self.reloads += 1
-        self.tracer.add("pool.reloads")
+        self._grow_resident(reloaded.size)
+        self._c_reloads.inc()
 
     # -- introspection ------------------------------------------------------------------
 

@@ -46,16 +46,19 @@ class Page:
         return self.block.to_bytes()
 
     @classmethod
-    def from_bytes(cls, page_id, data, registry=None, set_key=None):
+    def from_bytes(cls, page_id, data, registry=None, set_key=None,
+                   metrics=None):
         """Reconstitute a page that arrived from disk or the network."""
-        block = AllocationBlock.from_bytes(data, registry=registry)
+        block = AllocationBlock.from_bytes(data, registry=registry,
+                                           metrics=metrics)
         return cls(page_id, block, set_key=set_key)
 
     @classmethod
     def fresh(cls, page_id, size, registry=None, policy=LIGHTWEIGHT_REUSE,
-              set_key=None):
+              set_key=None, metrics=None):
         """A brand-new, empty page."""
-        block = AllocationBlock(size, policy=policy, registry=registry)
+        block = AllocationBlock(size, policy=policy, registry=registry,
+                                metrics=metrics)
         return cls(page_id, block, set_key=set_key)
 
     def __repr__(self):

@@ -30,7 +30,7 @@ from repro.errors import (
     ReplicationError,
 )
 from repro.memory.builtins import AnyObject, VectorType
-from repro.obs import Tracer
+from repro.obs import MetricsRegistry, Tracer
 
 _ROOT_VECTOR = VectorType(AnyObject)
 
@@ -85,16 +85,61 @@ class PlacementRing:
 class ReplicationManager:
     """Places, verifies, heals, and re-replicates stored pages."""
 
-    def __init__(self, catalog, storage_manager, network, tracer=None):
+    def __init__(self, catalog, storage_manager, network, tracer=None,
+                 metrics=None):
         self.catalog = catalog
         self.storage_manager = storage_manager
         self.network = network
         self.tracer = tracer or Tracer()
-        self.replica_writes = 0
-        self.failover_reads = 0
-        self.checksum_failures = 0
-        self.re_replications = 0
-        self.pages_healed = 0
+        # Counters live in the metrics registry; trace mirrors and the
+        # stats() view both derive from these declarations.
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry(tracer=self.tracer)
+        self._c_replica_writes = self.metrics.counter(
+            "pc_repl_replica_writes_total",
+            help="Page copies placed on replica workers",
+            trace="repl.replica_writes",
+        )
+        self._c_failover_reads = self.metrics.counter(
+            "pc_repl_failover_reads_total",
+            help="Reads served from a replica after a primary failure",
+            trace="repl.failover_reads",
+        )
+        self._c_checksum_failures = self.metrics.counter(
+            "pc_repl_checksum_failures_total",
+            help="Replica copies failing their recorded checksum",
+            trace="repl.checksum_failures",
+        )
+        self._c_re_replications = self.metrics.counter(
+            "pc_repl_re_replications_total",
+            help="Copies re-created to restore the replication factor",
+            trace="repl.re_replications",
+        )
+        self._c_pages_healed = self.metrics.counter(
+            "pc_repl_pages_healed_total",
+            help="Corrupt copies overwritten from a healthy replica",
+            trace="repl.pages_healed",
+        )
+
+    @property
+    def replica_writes(self):
+        return self._c_replica_writes.value
+
+    @property
+    def failover_reads(self):
+        return self._c_failover_reads.value
+
+    @property
+    def checksum_failures(self):
+        return self._c_checksum_failures.value
+
+    @property
+    def re_replications(self):
+        return self._c_re_replications.value
+
+    @property
+    def pages_healed(self):
+        return self._c_pages_healed.value
 
     # -- placement (writes) ----------------------------------------------------
 
@@ -122,8 +167,7 @@ class ReplicationManager:
             )
             replicas.append([worker_id, page_id])
             if index > 0:
-                self.replica_writes += 1
-                self.tracer.add("repl.replica_writes")
+                self._c_replica_writes.inc()
         return self.catalog.record_page(
             database, name, replicas, checksum, count, primary=primary
         )
@@ -160,8 +204,7 @@ class ReplicationManager:
                     delivered, count_objects=False
                 )
                 replicas.append([peer_id, peer_pid])
-                self.replica_writes += 1
-                self.tracer.add("repl.replica_writes")
+                self._c_replica_writes.inc()
             records.append(self.catalog.record_page(
                 database, name, replicas, checksum, count, primary=worker_id
             ))
@@ -224,8 +267,7 @@ class ReplicationManager:
             if worker_id is not None and reader != worker_id:
                 continue
             if reader != record.primary:
-                self.failover_reads += 1
-                self.tracer.add("repl.failover_reads")
+                self._c_failover_reads.inc()
             page_set, page_id = self._healthy_copy(
                 database, name, record, reader
             )
@@ -254,8 +296,7 @@ class ReplicationManager:
         return data
 
     def _note_checksum_failure(self, record, worker_id):
-        self.checksum_failures += 1
-        self.tracer.add("repl.checksum_failures")
+        self._c_checksum_failures.inc()
         self.tracer.event(
             "quarantine", kind="fault",
             detail="page %s copy on %s failed its CRC32 check"
@@ -296,8 +337,7 @@ class ReplicationManager:
             self.catalog.update_page_replicas(
                 database, name, record.uid, replicas
             )
-            self.pages_healed += 1
-            self.tracer.add("repl.pages_healed")
+            self._c_pages_healed.inc()
             return page_set, healed_pid
         raise ReplicationError(
             "page %s of %s.%s is corrupt on every replica"
@@ -433,8 +473,7 @@ class ReplicationManager:
                     )
                     holders.add(target)
                     created += 1
-                    self.re_replications += 1
-                    self.tracer.add("repl.re_replications")
+                    self._c_re_replications.inc()
         return created
 
     def replication_factors(self, database, name):

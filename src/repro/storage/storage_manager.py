@@ -26,13 +26,14 @@ class LocalStorageServer:
 
     def __init__(self, worker_id, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
                  registry=None, spill_dir=None, tracer=None,
-                 fault_injector=None):
+                 fault_injector=None, metrics=None):
         self.worker_id = worker_id
         self.pool = BufferPool(
             capacity_bytes, page_size=page_size, registry=registry,
             spill_dir=spill_dir, tracer=tracer,
-            fault_injector=fault_injector,
+            fault_injector=fault_injector, metrics=metrics,
         )
+        self.metrics = self.pool.metrics
         self._sets = {}  # (db, set) -> PageSet
 
     def sets(self):

@@ -2,9 +2,9 @@
 
 ``cluster.read(...)`` is the one read entry point (``as_pairs=True``
 merges aggregation outputs); ``Computation.execute(cluster)`` is the
-fluent execution entry; the old ``scan`` / ``read_aggregate_set`` remain
-as deprecation shims; and the loader context manager discards its open
-block when the body raises.
+fluent execution entry; and the loader context manager discards its open
+block when the body raises.  The deprecated ``scan`` /
+``read_aggregate_set`` shims have been removed.
 """
 
 import pytest
@@ -67,17 +67,9 @@ def test_read_objects_and_pairs(cluster):
     assert cluster.read("db", "sums", as_pairs=True, comp=agg) == _expected()
 
 
-def test_scan_shim_warns_and_still_works(cluster):
-    with pytest.warns(DeprecationWarning, match="use PCCluster.read"):
-        handles = cluster.scan("db", "points")
-    assert sorted(h.pid for h in handles) == list(range(40))
-
-
-def test_read_aggregate_set_shim_warns_and_still_works(cluster):
-    agg, _log = _run_aggregation(cluster)
-    with pytest.warns(DeprecationWarning, match="as_pairs=True"):
-        merged = cluster.read_aggregate_set("db", "sums", comp=agg)
-    assert merged == _expected()
+def test_removed_shims_are_gone(cluster):
+    assert not hasattr(cluster, "scan")
+    assert not hasattr(cluster, "read_aggregate_set")
 
 
 def test_new_read_api_does_not_warn(cluster):

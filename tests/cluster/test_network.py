@@ -57,3 +57,20 @@ def test_transfers_report_into_the_active_span():
     assert totals["net.link.worker-0->worker-1"] == 10
     assert "net.link.a->b" not in totals
     assert net.bytes_zero_copy == 17  # globals still cover everything
+
+
+def test_mutating_returned_by_link_does_not_corrupt_accounting():
+    """stats()["by_link"] and net.by_link are views, not internal state."""
+    net = SimulatedNetwork()
+    net.ship_page("client", "worker-0", b"x" * 100)
+
+    stats = net.stats()
+    stats["by_link"]["client->worker-0"] = 999999
+    stats["by_link"]["attacker->victim"] = 1
+    assert net.stats()["by_link"] == {"client->worker-0": 100}
+
+    live = net.by_link
+    live[("client", "worker-0")] += 500
+    live[("made", "up")] = 7
+    assert net.by_link == {("client", "worker-0"): 100}
+    assert net.stats()["bytes_total"] == 100

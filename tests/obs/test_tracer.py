@@ -91,3 +91,33 @@ def test_render_trace_mentions_spans_and_counters():
     assert "broadcast" in text
     assert "net.bytes_zero_copy" in text
     assert "4096" in text
+
+
+def test_trace_json_round_trip_rebuilds_the_span_tree():
+    """to_json -> from_json preserves names, kinds, details, durations,
+    counters, and rolled-up totals (satellite: trace persistence)."""
+    from repro.obs import Trace
+
+    tracer = Tracer()
+    with tracer.span("job", kind="job", detail="q17"):
+        tracer.add("job.stages", 2)
+        with tracer.span("scan", kind="stage", detail="tpch.customers"):
+            tracer.add("pool.pages_pinned", 5)
+        with tracer.span("agg", kind="stage"):
+            tracer.add("engine.rows_in", 40)
+            with tracer.span("worker-0", kind="task"):
+                tracer.add("net.bytes_zero_copy", 4096)
+    original = tracer.last_trace
+
+    restored = Trace.from_json(original.to_json())
+
+    assert restored.totals() == original.totals()
+    for got, want in zip(restored.root.walk(), original.root.walk()):
+        assert got.name == want.name
+        assert got.kind == want.kind
+        assert got.detail == want.detail
+        assert got.counters == want.counters
+        assert got.duration_s == round(want.duration_s, 9)
+    assert [s.name for s in restored.spans(kind="stage")] == ["scan", "agg"]
+    # and the round-trip is a fixed point: re-serializing changes nothing
+    assert restored.to_json() == original.to_json()
