@@ -1,0 +1,63 @@
+"""CLI for the PC analysis tools.
+
+``python -m repro.analysis lint [PATH ...]`` lints the given paths
+(default ``src``) with rules PC001–PC005 and exits non-zero when any
+finding survives suppression.  ``python -m repro.analysis rules`` lists
+the rule catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint import format_json, format_text, iter_rules, run_lint
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="PC-specific static analysis (PCSan lint).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint_parser = sub.add_parser("lint", help="run rules PC001-PC005")
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+
+    sub.add_parser("rules", help="list the rule catalog")
+
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        for code, name, summary in iter_rules():
+            print("%s  %-24s %s" % (code, name, summary))
+        return 0
+    if args.command != "lint":
+        parser.print_help()
+        return 2
+
+    select = None
+    if args.select:
+        select = {c.strip() for c in args.select.split(",") if c.strip()}
+    findings = run_lint(args.paths, select=select)
+    if args.format == "json":
+        print(format_json(findings))
+    elif findings:
+        print(format_text(findings))
+    else:
+        print("0 findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

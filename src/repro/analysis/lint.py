@@ -1,0 +1,434 @@
+"""AST lint rules for PC-specific invariants (PC001–PC005).
+
+ruff and friends check Python; these rules check *PlinyCompute*.  Each
+rule encodes one discipline the simulated object model or the cluster
+layer relies on but cannot enforce at runtime without cost:
+
+========  ==============================================================
+PC001     ``Handle`` escape from its managing ``AllocationBlock`` scope
+          (stored into instance/module state, or returned from inside a
+          ``with use_allocation_block(...)`` body).
+PC002     Raw ``block.buf`` byte access outside ``repro/memory/`` —
+          on-page bytes are :mod:`repro.memory.layout`'s territory.
+PC003     Impure lambda passed to ``lambda_from_native`` — I/O,
+          nondeterminism, or closure mutation breaks the purity the
+          TCAP optimizer assumes when it reorders terms.
+PC004     Metrics counter in a mirrored family (``pc_pool_*``,
+          ``pc_net_*``, ``pc_repl_*``, ``pc_faults_*``, ``pc_san_*``)
+          declared without its ``trace=`` mirror — the single-
+          declaration rule the obs layer established.
+PC005     Exception-swallowing ``except`` in ``repro/cluster/*`` hot
+          paths (body is only ``pass``/``continue``/``break``/bare
+          ``return``) — silent failures in the scheduler/network layer
+          masquerade as slow or wrong answers.
+========  ==============================================================
+
+A finding on line *N* is silenced by a trailing ``# pcsan:
+disable=PCnnn`` comment on that line (comma-separate to silence
+several).  Run ``python -m repro.analysis lint src`` to lint the repo.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+
+# -- findings & suppressions --------------------------------------------------
+
+
+class Finding:
+    """One rule violation at a specific source location."""
+
+    __slots__ = ("code", "message", "path", "line", "col")
+
+    def __init__(self, code, message, path, line, col=0):
+        self.code = code
+        self.message = message
+        self.path = path
+        self.line = line
+        self.col = col
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self):
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def __repr__(self):
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.code, self.message,
+        )
+
+
+_SUPPRESS_RE = re.compile(r"#\s*pcsan:\s*disable=([A-Z0-9,\s]+)")
+
+
+def suppressions_of(source):
+    """``{line_number: {codes}}`` for every ``# pcsan: disable=`` comment."""
+    out = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        if codes:
+            out[lineno] = codes
+    return out
+
+
+# -- rule registry ------------------------------------------------------------
+
+_RULES = []
+
+
+def rule(code, name):
+    """Register a checker ``fn(tree, path, source) -> iterable[Finding]``."""
+    def wrap(fn):
+        _RULES.append((code, name, fn))
+        return fn
+    return wrap
+
+
+def iter_rules():
+    """Yield ``(code, name, summary)`` for every registered rule."""
+    for code, name, fn in _RULES:
+        summary = (fn.__doc__ or "").strip().splitlines()[0]
+        yield code, name, summary
+
+
+def _path_parts(path):
+    return set(os.path.normpath(path).split(os.sep))
+
+
+def _root_name(node):
+    """The leftmost ``Name`` of an attribute/subscript chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _call_name(node):
+    """Bare name of a call target: ``f(...)`` or ``mod.f(...)`` -> ``f``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+# -- PC001: handle escape -----------------------------------------------------
+
+_MAKERS = {"make_object", "make_object_on"}
+_BLOCK_SCOPES = {"use_allocation_block", "makeObjectAllocatorBlock"}
+
+
+def _is_maker_call(node):
+    return isinstance(node, ast.Call) and _call_name(node) in _MAKERS
+
+
+@rule("PC001", "handle-escape")
+def check_handle_escape(tree, path, source):
+    """Handle stored or returned past its AllocationBlock's scope."""
+    findings = []
+    # (a) Handles parked in long-lived state: instance attributes or
+    # module globals.  A Handle is only meaningful while its block is
+    # alive and resident; stashing one is the Python spelling of the
+    # dangling cross-block pointer the paper designs away.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not _is_maker_call(node.value):
+            continue
+        for target in node.targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                findings.append(Finding(
+                    "PC001",
+                    "handle from %s() stored into instance state; it "
+                    "outlives its allocation block" % _call_name(node.value),
+                    path, node.lineno, node.col_offset,
+                ))
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and _is_maker_call(node.value):
+            findings.append(Finding(
+                "PC001",
+                "handle from %s() bound at module level; it outlives "
+                "its allocation block" % _call_name(node.value),
+                path, node.lineno, node.col_offset,
+            ))
+    # (b) Handles returned from inside a `with use_allocation_block(...)`
+    # body: the block's scope ends at the `with`, the handle escapes it.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.With):
+            continue
+        if not any(
+            isinstance(item.context_expr, ast.Call)
+            and _call_name(item.context_expr) in _BLOCK_SCOPES
+            for item in node.items
+        ):
+            continue
+        handle_names = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and _is_maker_call(sub.value):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        handle_names.add(target.id)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            escapes = (
+                _is_maker_call(sub.value)
+                or (isinstance(sub.value, ast.Name)
+                    and sub.value.id in handle_names)
+            )
+            if escapes:
+                findings.append(Finding(
+                    "PC001",
+                    "handle returned from inside its allocation-block "
+                    "scope; the block is gone when the caller derefs",
+                    path, sub.lineno, sub.col_offset,
+                ))
+    return findings
+
+
+# -- PC002: raw buf access ----------------------------------------------------
+
+
+@rule("PC002", "raw-buf-access")
+def check_raw_buf_access(tree, path, source):
+    """Raw ``block.buf`` byte access outside the memory layer.
+
+    Any ``.buf`` attribute access counts, not just a direct subscript —
+    aliasing the buffer into a local (``buf = block.buf``) is the same
+    escape with one more step.
+    """
+    if "memory" in _path_parts(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "buf":
+            findings.append(Finding(
+                "PC002",
+                "raw access to block.buf; go through "
+                "repro.memory.layout instead",
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# -- PC003: impure native lambda ---------------------------------------------
+
+_IMPURE_BUILTINS = {
+    "print", "open", "input", "eval", "exec", "exit", "__import__",
+}
+_IMPURE_MODULES = {
+    "random", "time", "os", "sys", "socket", "datetime", "subprocess", "io",
+}
+_MUTATORS = {
+    "append", "extend", "insert", "pop", "remove", "clear", "update",
+    "setdefault", "add", "discard", "write", "writelines",
+}
+
+
+def _lambda_impurity(node):
+    """Why a lambda body is impure, or None if it looks pure."""
+    params = {a.arg for a in (
+        node.args.args + node.args.posonlyargs + node.args.kwonlyargs
+    )}
+    if node.args.vararg is not None:
+        params.add(node.args.vararg.arg)
+    if node.args.kwarg is not None:
+        params.add(node.args.kwarg.arg)
+    for sub in ast.walk(node.body):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name) and func.id in _IMPURE_BUILTINS:
+            return "calls %s()" % func.id
+        if isinstance(func, ast.Attribute):
+            root = _root_name(func.value)
+            if root in _IMPURE_MODULES:
+                return "calls %s.%s()" % (root, func.attr)
+            if func.attr in _MUTATORS and root is not None \
+                    and root not in params:
+                return "mutates closed-over %r via .%s()" % (root, func.attr)
+    return None
+
+
+@rule("PC003", "impure-native-lambda")
+def check_impure_native_lambda(tree, path, source):
+    """Impure lambda handed to ``lambda_from_native``."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(node) != "lambda_from_native":
+            continue
+        candidates = list(node.args)
+        candidates.extend(
+            kw.value for kw in node.keywords if kw.arg == "fn"
+        )
+        for arg in candidates:
+            if not isinstance(arg, ast.Lambda):
+                continue
+            why = _lambda_impurity(arg)
+            if why is not None:
+                findings.append(Finding(
+                    "PC003",
+                    "impure native lambda (%s); the TCAP optimizer "
+                    "assumes term purity when it reorders" % why,
+                    path, arg.lineno, arg.col_offset,
+                ))
+    return findings
+
+
+# -- PC004: counter without trace mirror -------------------------------------
+
+_MIRRORED_PREFIXES = (
+    "pc_pool_", "pc_net_", "pc_repl_", "pc_faults_", "pc_san_",
+)
+
+
+@rule("PC004", "counter-missing-trace")
+def check_counter_missing_trace(tree, path, source):
+    """Mirrored-family counter declared without ``trace=``."""
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "counter"):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant)
+                and isinstance(first.value, str)):
+            continue
+        name = first.value
+        if not name.startswith(_MIRRORED_PREFIXES):
+            continue
+        if any(kw.arg == "trace" for kw in node.keywords):
+            continue
+        findings.append(Finding(
+            "PC004",
+            "counter %r declared without its trace= mirror; its family "
+            "publishes both views from one declaration" % name,
+            path, node.lineno, node.col_offset,
+        ))
+    return findings
+
+
+# -- PC005: swallowed exceptions in cluster hot paths ------------------------
+
+
+def _is_trivial_stmt(stmt):
+    if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    if isinstance(stmt, ast.Return):
+        return stmt.value is None or (
+            isinstance(stmt.value, ast.Constant) and stmt.value.value is None
+        )
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring or `...`
+    return False
+
+
+@rule("PC005", "swallowed-exception")
+def check_swallowed_exception(tree, path, source):
+    """Exception-swallowing ``except`` in a cluster hot path."""
+    if "cluster" not in _path_parts(path):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.body and all(_is_trivial_stmt(s) for s in node.body):
+            named = ""
+            if isinstance(node.type, ast.Name):
+                named = " %s" % node.type.id
+            findings.append(Finding(
+                "PC005",
+                "except%s block swallows the error (body is only "
+                "pass/continue/break/return); count it, log it, or "
+                "let it propagate" % named,
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def _iter_py_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__" and not d.startswith(".")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_source(source, path, select=None):
+    """Run the registered rules over one module's source text."""
+    tree = ast.parse(source, filename=path)
+    suppressed = suppressions_of(source)
+    findings = []
+    for code, _name, fn in _RULES:
+        if select is not None and code not in select:
+            continue
+        for finding in fn(tree, path, source):
+            if finding.code in suppressed.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def run_lint(paths, select=None):
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings = []
+    for path in _iter_py_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            findings.extend(lint_source(source, path, select=select))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                "PC000", "syntax error: %s" % exc.msg, path,
+                exc.lineno or 1, (exc.offset or 1) - 1,
+            ))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def format_text(findings):
+    lines = [repr(f) for f in findings]
+    lines.append(
+        "%d finding%s" % (len(findings), "" if len(findings) == 1 else "s")
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings):
+    return json.dumps(
+        {"findings": [f.to_dict() for f in findings],
+         "count": len(findings)},
+        indent=2, sort_keys=True,
+    )

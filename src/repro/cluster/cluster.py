@@ -31,6 +31,7 @@ import os
 import tempfile
 import time
 
+from repro.analysis import sanitizer as pcsan
 from repro.catalog import CatalogJournal, CatalogManager
 from repro.engine.physical import plan_pipelines
 from repro.engine.vectors import DEFAULT_BATCH_SIZE
@@ -114,7 +115,8 @@ class PCCluster:
                  worker_memory=64 << 20, batch_size=DEFAULT_BATCH_SIZE,
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
-                 fault_injector=None, retry_policy=None, profiling=True):
+                 fault_injector=None, retry_policy=None, profiling=False,
+                 sanitize=False):
         # The master's durable territory: the catalog journals every DDL
         # and replica-map mutation (write-ahead) under the spill root, so
         # recover() can rebuild its state after a simulated master crash.
@@ -133,6 +135,14 @@ class PCCluster:
         # publishes here; each worker front-end has its own registry and
         # metrics() merges them all into one cluster-wide snapshot.
         self.metrics_registry = MetricsRegistry(tracer=self.tracer)
+        # PCSan: must be enabled before any worker allocates a block, so
+        # every AllocationBlock in the cluster gets a shadow.  sanitize=
+        # False leaves whatever the process-wide state is (env opt-in via
+        # PC_SANITIZE=1 still applies); neither default installs wrappers.
+        if sanitize:
+            self.sanitizer = pcsan.enable(metrics=self.metrics_registry)
+        else:
+            self.sanitizer = pcsan.current_sanitizer()
         self.fault_metrics = _FaultCounters(self.metrics_registry)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
@@ -387,6 +397,12 @@ class PCCluster:
         the most interesting ones).
         """
         started = time.perf_counter()
+        # PCSan pin-leak detection: pins held before the job are fine
+        # (client handles, prior jobs); anything above that baseline
+        # still pinned when the job ends leaked inside this job.
+        san = self.sanitizer
+        pools = [w.storage.pool for w in self.workers]
+        pin_baseline = san.snapshot_pins(pools) if san is not None else None
         with self.tracer.span(job_name, kind="job") as job_span:
             with self.tracer.span("compile", kind="phase"):
                 program = compile_computations(sinks)
@@ -411,6 +427,8 @@ class PCCluster:
                 job_span.inc("job.workers", len(self.active_workers))
                 self._c_jobs.inc()
                 self._h_job_seconds.observe(time.perf_counter() - started)
+                if san is not None:
+                    san.check_pins(pools, pin_baseline)
         return job_log
 
     def _choose_build_sides(self, program):
@@ -451,7 +469,7 @@ class PCCluster:
                 partitions = self.storage_manager.partitions(
                     statement.database, statement.set_name
                 )
-            except (CatalogError, StorageError):
+            except (CatalogError, StorageError):  # pcsan: disable=PC005
                 # Unknown or not-yet-loaded source: size cannot be traced,
                 # keep the default build side.  Anything else (a genuine
                 # bug) must propagate, not silently skew join planning.
@@ -460,7 +478,7 @@ class PCCluster:
                 for page_id in partition.page_ids:
                     try:
                         page = partition.pool.pin(page_id)
-                    except PageReloadError:
+                    except PageReloadError:  # pcsan: disable=PC005
                         # Planning only needs an estimate; a flaky reload
                         # must not kill the job before it starts.
                         continue

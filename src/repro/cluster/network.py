@@ -115,6 +115,7 @@ class SimulatedNetwork:
         self._c_delay_seconds = self.metrics.counter(
             "pc_net_delay_seconds_total",
             help="Simulated delay in (float) seconds",
+            trace="net.delay_s_total",
         )
 
     # Legacy counter attributes: read-only views over the registry.

@@ -61,7 +61,6 @@ from repro.engine.vectors import batches_of
 from repro.errors import (
     ExecutionError,
     PageReloadError,
-    SetNotFoundError,
     WorkerCrashError,
     WorkerLostError,
 )
@@ -656,16 +655,18 @@ class DistributedScheduler:
                 return repl.estimated_bytes(scan.database, scan.set_name)
             total = 0
             for worker in self.workers:
-                try:
-                    page_set = worker.storage.get_set(
-                        scan.database, scan.set_name
-                    )
-                except SetNotFoundError:
+                # PC005 fix: probe first instead of swallowing the miss —
+                # a worker simply not holding a partition is the normal
+                # case, not an exception to discard.
+                if not worker.storage.has_set(scan.database, scan.set_name):
                     continue
+                page_set = worker.storage.get_set(
+                    scan.database, scan.set_name
+                )
                 for page_id in page_set.page_ids:
                     try:
                         page = worker.storage.pool.pin(page_id)
-                    except PageReloadError:
+                    except PageReloadError:  # pcsan: disable=PC005
                         # An estimate tolerates a flaky reload; the scan
                         # itself retries through the stage machinery.
                         continue

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 import struct
 
+from repro.analysis.sanitizer import current_sanitizer
 from repro.errors import BlockFullError, DanglingHandleError
 from repro.memory import layout
 from repro.memory.layout import (
@@ -85,6 +86,7 @@ class AllocationBlock:
         "metrics",
         "_m_allocs",
         "_m_frees",
+        "_san",
     )
 
     def __init__(self, size, policy=LIGHTWEIGHT_REUSE, registry=None,
@@ -128,6 +130,11 @@ class AllocationBlock:
         else:
             self._m_allocs = None
             self._m_frees = None
+        # PCSan: blocks created while the sanitizer is active carry a
+        # shadow (generations, poison map, shadow refcounts); otherwise
+        # every hook site below is one `is not None` test.
+        san = current_sanitizer()
+        self._san = san.watch_block(self) if san is not None else None
 
     # -- introspection ------------------------------------------------------
 
@@ -199,6 +206,10 @@ class AllocationBlock:
                 raise BlockFullError(total, self.size - used)
             offset = used
             layout.write_used(self.buf, used + total)
+        if self._san is not None:
+            # Verify the reused chunk's poison survived (wild-write check)
+            # before the header/zeroing below overwrites it.
+            self._san.on_alloc(offset, type_code, refcount)
         layout.write_object_header(
             self.buf, offset, refcount, type_code, payload_size
         )
@@ -269,6 +280,10 @@ class AllocationBlock:
             layout.write_active_objects(self.buf, remaining)
             if remaining == 0 and self.on_empty is not None:
                 self.on_empty(self)
+        if self._san is not None:
+            # Poison past the tombstone + freelist record; bumps the
+            # offset's generation so stale handles fail deref.
+            self._san.on_free(offset, total)
         if self.policy == NO_REUSE:
             self.freed_bytes += total
             return
@@ -309,6 +324,8 @@ class AllocationBlock:
             )
         if refcount < 0:
             return
+        if self._san is not None:
+            self._san.on_refcount(offset, refcount, refcount + 1)
         layout.write_refcount(self.buf, offset, refcount + 1)
 
     def release(self, offset):
@@ -332,6 +349,8 @@ class AllocationBlock:
             raise DanglingHandleError(
                 "refcount underflow at offset %d" % offset
             )
+        if self._san is not None:
+            self._san.on_refcount(offset, refcount, refcount - 1)
         refcount -= 1
         layout.write_refcount(self.buf, offset, refcount)
         return refcount == 0
@@ -344,6 +363,8 @@ class AllocationBlock:
         This is the paper's zero-cost data movement: no per-object work,
         just one memory copy of the occupied prefix (plus header).
         """
+        if self._san is not None:
+            self._san.on_seal()
         return bytes(self.buf[: self.used])
 
     @classmethod

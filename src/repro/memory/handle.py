@@ -24,13 +24,21 @@ from repro.memory.types import registry_of
 class Handle:
     """A pointer-like reference to a PC object on an allocation block."""
 
-    __slots__ = ("block", "offset", "type_code", "_owns_ref")
+    __slots__ = ("block", "offset", "type_code", "_owns_ref", "generation")
 
     def __init__(self, block, offset, type_code, owns_ref=False):
         self.block = block
         self.offset = offset
         self.type_code = type_code
         self._owns_ref = owns_ref
+        # PCSan: under the sanitizer a handle remembers which generation
+        # of its offset it was created for, so deref can tell a live
+        # object from a reallocation of the same slot.
+        shadow = getattr(block, "_san", None)
+        if shadow is not None:
+            self.generation = shadow.generation_of(offset)
+        else:
+            self.generation = None
 
     # -- null handling -------------------------------------------------------
 
@@ -63,6 +71,9 @@ class Handle:
         refcount, code, _size = layout.read_object_header(
             self.block.buf, self.offset
         )
+        shadow = getattr(self.block, "_san", None)
+        if shadow is not None:
+            shadow.on_deref(self.offset, self.generation, refcount)
         if refcount == layout.REFCOUNT_FREED:
             raise DanglingHandleError(
                 "handle to freed object at offset %d" % self.offset
@@ -73,7 +84,13 @@ class Handle:
     def __getattr__(self, name):
         # Delegation sugar: ``handle.salary`` reads the field through the
         # facade, matching the ergonomics of C++'s ``handle->salary``.
-        if name in Handle.__slots__:
+        # Dunder probes (copy/pickle looking up ``__deepcopy__``,
+        # ``__getstate__``...) must fail with AttributeError, never with
+        # Null/DanglingHandleError — the protocols treat AttributeError
+        # as "not supported" and anything else as a real failure.
+        if name in Handle.__slots__ or (
+            name.startswith("__") and name.endswith("__")
+        ):
             raise AttributeError(name)
         return getattr(self.deref(), name)
 
@@ -90,11 +107,14 @@ class Handle:
         """Drop this handle's reference; destroys the target at zero.
 
         Safe to call on null or non-owning handles (no-op).  After release
-        the handle becomes null.
+        the handle is fully null on every path: block, offset, type code,
+        and ownership are all cleared.
         """
         if self.is_null or not self._owns_ref:
             self.block = None
             self.offset = None
+            self.type_code = 0
+            self._owns_ref = False
             return
         from repro.memory.objects import release_reference
 
@@ -102,6 +122,7 @@ class Handle:
         self._owns_ref = False
         self.block = None
         self.offset = None
+        self.type_code = 0
 
     # -- misc -------------------------------------------------------------------
 

@@ -215,11 +215,27 @@ class BufferPool:
         if page.pin_count == 0:
             self._lru[page_id] = None
 
+    def pinned_pages(self):
+        """``{page_id: pin_count}`` for every currently pinned page.
+
+        PCSan snapshots this before a job and diffs it afterwards to
+        detect pin leaks (pages pinned during the job and never unpinned).
+        """
+        return {
+            page_id: page.pin_count
+            for page_id, page in self._pages.items()
+            if page.pin_count > 0
+        }
+
     def free_page(self, page_id):
         """Drop a page entirely (its set was cleared or it was temporary)."""
         page = self._pages.pop(page_id, None)
         if page is None:
             return
+        block = getattr(page, "block", None)
+        shadow = getattr(block, "_san", None) if block is not None else None
+        if shadow is not None:
+            shadow.retire("page %d freed" % page_id)
         self._lru.pop(page_id, None)
         if page.in_memory:
             self._in_memory_bytes -= page.size

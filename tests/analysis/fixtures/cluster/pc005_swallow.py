@@ -1,0 +1,30 @@
+"""Fixture: PC005 — exception-swallowing except blocks in cluster code."""
+
+
+def swallow_pass(worker):
+    try:
+        worker.ping()
+    except ConnectionError:
+        pass  # fires
+
+
+def swallow_continue(workers):
+    for worker in workers:
+        try:
+            worker.ping()
+        except ConnectionError:
+            continue  # fires
+
+
+def swallow_return(worker):
+    try:
+        return worker.ping()
+    except ConnectionError:
+        return None  # fires
+
+
+def counted_is_fine(worker, metrics):
+    try:
+        worker.ping()
+    except ConnectionError:
+        metrics.ping_failures.inc()  # must NOT fire: failure is counted

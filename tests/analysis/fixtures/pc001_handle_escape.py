@@ -1,0 +1,22 @@
+"""Fixture: every PC001 pattern — handles escaping their block's scope."""
+
+from repro.memory import make_object, make_object_on, use_allocation_block
+
+GLOBAL_HANDLE = make_object(Employee, name="stashed")  # fires: module level
+
+
+class HandleCache:
+    def __init__(self, block):
+        # fires: instance state outlives the allocation block
+        self.cached = make_object_on(block, Employee, name="cached")
+
+
+def build_and_leak():
+    with use_allocation_block(1 << 20) as block:
+        handle = make_object_on(block, Employee, name="leaky")
+        return handle  # fires: block scope ends at the `with`
+
+
+def leak_directly():
+    with use_allocation_block(1 << 20):
+        return make_object(Employee, name="direct")  # fires

@@ -1,0 +1,14 @@
+"""Fixture: PC002 — raw block.buf byte access outside the memory layer."""
+
+
+def peek_byte(block, offset):
+    return block.buf[offset]  # fires: subscript on .buf
+
+
+def poke_header(block, offset):
+    block.buf[offset:offset + 8] = b"\x00" * 8  # fires: raw write
+
+
+def alias_the_buffer(page):
+    buf = page.block.buf  # fires: aliasing is the same escape
+    return buf[0:16]

@@ -1,0 +1,30 @@
+"""Fixture: PC003 — impure lambdas handed to lambda_from_native."""
+
+from repro.core.lambdas import Arg, lambda_from_native
+
+seen = []
+
+
+def printing_projection(arg):
+    # fires: print() is I/O
+    return lambda_from_native([arg], lambda v: print(v) or v.salary)
+
+
+def nondeterministic_selection(arg):
+    # fires: random breaks replay and optimizer rewrites
+    return lambda_from_native([arg], lambda v: v.salary > random.random())
+
+
+def mutating_closure(arg):
+    # fires: appends to closed-over state
+    return lambda_from_native([arg], lambda v: seen.append(v) or True)
+
+
+def pure_is_fine(arg):
+    # must NOT fire: pure arithmetic over the argument
+    return lambda_from_native([arg], lambda v: v.salary * 2 + 1)
+
+
+def param_mutation_is_fine(arg):
+    # must NOT fire: mutating the lambda's own parameter is local
+    return lambda_from_native([arg], lambda acc: acc.update({}) or acc)

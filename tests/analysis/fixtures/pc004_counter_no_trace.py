@@ -1,0 +1,18 @@
+"""Fixture: PC004 — mirrored-family counter without its trace= mirror."""
+
+
+class PoolCounters:
+    def __init__(self, metrics):
+        self.hits = metrics.counter(
+            "pc_pool_probe_hits_total",
+            help="Probe hits",
+        )  # fires: pc_pool_* family, no trace=
+        self.misses = metrics.counter(
+            "pc_pool_probe_misses_total",
+            help="Probe misses",
+            trace="pool.probe_misses",
+        )  # must NOT fire: mirror declared
+        self.other = metrics.counter(
+            "pc_custom_thing_total",
+            help="Outside the mirrored families",
+        )  # must NOT fire: not a mirrored family

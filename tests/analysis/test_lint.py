@@ -1,0 +1,138 @@
+"""The pcsan lint pass: every rule fires on its fixture, suppressions
+silence them, and the repo itself is PC-rule-clean."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import iter_rules, run_lint
+from repro.analysis.lint import format_json, format_text, lint_source
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def codes_in(path, select=None):
+    return [f.code for f in run_lint([path], select=select)]
+
+
+# -- each rule fires on its fixture ------------------------------------------
+
+
+def test_pc001_fires_on_every_escape_pattern():
+    findings = run_lint([fixture("pc001_handle_escape.py")])
+    assert [f.code for f in findings] == ["PC001"] * 4
+    messages = " ".join(f.message for f in findings)
+    assert "instance state" in messages
+    assert "module level" in messages
+    assert "returned from inside" in messages
+
+
+def test_pc002_fires_on_subscript_write_and_alias():
+    codes = codes_in(fixture("pc002_raw_buf.py"))
+    assert codes == ["PC002"] * 3
+
+
+def test_pc003_fires_only_on_impure_lambdas():
+    findings = run_lint([fixture("pc003_impure_lambda.py")])
+    assert [f.code for f in findings] == ["PC003"] * 3
+    reasons = " ".join(f.message for f in findings)
+    assert "print" in reasons
+    assert "random" in reasons
+    assert "seen" in reasons  # the mutated closure name
+
+
+def test_pc004_fires_only_on_mirrorless_family_counter():
+    findings = run_lint([fixture("pc004_counter_no_trace.py")])
+    assert len(findings) == 1
+    assert findings[0].code == "PC004"
+    assert "pc_pool_probe_hits_total" in findings[0].message
+
+
+def test_pc005_fires_on_swallowing_excepts_only():
+    findings = run_lint([fixture("cluster", "pc005_swallow.py")])
+    assert [f.code for f in findings] == ["PC005"] * 3
+
+
+def test_pc005_is_scoped_to_cluster_paths():
+    source = "try:\n    ping()\nexcept ValueError:\n    pass\n"
+    assert lint_source(source, "repro/cluster/foo.py") != []
+    assert lint_source(source, "repro/engine/foo.py") == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_suppression_comment_silences_each_rule():
+    assert run_lint([fixture("cluster", "suppressed.py")]) == []
+
+
+def test_unrelated_suppression_does_not_silence():
+    source = "x = block.buf[0]  # pcsan: disable=PC001\n"
+    findings = lint_source(source, "repro/engine/foo.py")
+    assert [f.code for f in findings] == ["PC002"]
+
+
+# -- the fixture tree as a whole, and the repo -------------------------------
+
+
+def test_fixture_tree_violates_every_rule():
+    codes = {f.code for f in run_lint([FIXTURES])}
+    assert codes == {"PC001", "PC002", "PC003", "PC004", "PC005"}
+
+
+def test_repo_is_pc_rule_clean():
+    assert run_lint([SRC]) == []
+
+
+# -- registry, select, reporters, CLI ----------------------------------------
+
+
+def test_rule_catalog_is_complete():
+    codes = [code for code, _name, _summary in iter_rules()]
+    assert codes == ["PC001", "PC002", "PC003", "PC004", "PC005"]
+
+
+def test_select_runs_only_requested_rules():
+    codes = codes_in(FIXTURES, select={"PC002"})
+    assert codes and set(codes) == {"PC002"}
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    findings = run_lint([str(bad)])
+    assert [f.code for f in findings] == ["PC000"]
+
+
+def test_reporters():
+    findings = run_lint([fixture("pc004_counter_no_trace.py")])
+    text = format_text(findings)
+    assert "PC004" in text and text.endswith("1 finding")
+    payload = json.loads(format_json(findings))
+    assert payload["count"] == 1
+    assert payload["findings"][0]["code"] == "PC004"
+
+
+@pytest.mark.parametrize(
+    "target,expected_exit", [(FIXTURES, 1), (SRC, 0)],
+)
+def test_cli_exit_codes(target, expected_exit):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", target,
+         "--format", "json"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == expected_exit, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert (payload["count"] > 0) == (expected_exit == 1)

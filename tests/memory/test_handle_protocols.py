@@ -1,0 +1,91 @@
+"""Handle protocol behavior: dunder probes and post-release nulling.
+
+``Handle.__getattr__`` delegates unknown attributes to the deref'd
+facade.  Protocol machinery (copy, pickle, inspect) probes dunders like
+``__deepcopy__`` on arbitrary objects and treats ``AttributeError`` as
+"not supported" — any other exception is a real failure.  A null or
+freed handle must therefore answer those probes with AttributeError,
+never ``NullHandleError``/``DanglingHandleError``.
+"""
+
+import copy
+
+import pytest
+
+from repro.errors import NullHandleError
+from repro.memory import (
+    AllocationBlock,
+    Handle,
+    String,
+    make_object_on,
+)
+
+BLOCK_SIZE = 1 << 16
+
+
+def test_dunder_probe_on_null_handle_raises_attribute_error():
+    handle = Handle.null()
+    with pytest.raises(AttributeError):
+        handle.__deepcopy__
+    with pytest.raises(AttributeError):
+        handle.__fspath__  # any dunder object itself doesn't provide
+
+
+def test_dunder_probe_on_freed_handle_raises_attribute_error():
+    block = AllocationBlock(BLOCK_SIZE)
+    handle = make_object_on(block, String, "probe-me")
+    block.free_object(handle.offset)
+    with pytest.raises(AttributeError):
+        handle.__deepcopy__
+
+
+def test_deepcopy_of_null_handle_works():
+    # Before the fix, copy.deepcopy probed __deepcopy__ and got
+    # NullHandleError out of the delegation, breaking the protocol.
+    duplicate = copy.deepcopy(Handle.null())
+    assert duplicate.is_null
+
+
+def test_non_dunder_access_still_delegates_and_raises_properly():
+    handle = Handle.null()
+    with pytest.raises(NullHandleError):
+        handle.anything  # plain attributes still surface the real error
+
+
+# -- release() nulls the handle on both paths --------------------------------
+
+
+def test_release_fully_nulls_owning_handle():
+    block = AllocationBlock(BLOCK_SIZE)
+    handle = make_object_on(block, String, "owned")
+    assert handle._owns_ref
+    handle.release()
+    assert handle.is_null
+    assert handle.block is None
+    assert handle.offset is None
+    assert handle.type_code == 0
+    assert not handle._owns_ref
+    assert repr(handle) == "<Handle null>"
+
+
+def test_release_fully_nulls_non_owning_handle():
+    block = AllocationBlock(BLOCK_SIZE)
+    owner = make_object_on(block, String, "shared")
+    alias = Handle(block, owner.offset, owner.type_code, owns_ref=False)
+    alias.release()
+    assert alias.is_null
+    assert alias.block is None
+    assert alias.offset is None
+    assert alias.type_code == 0  # was left stale before the fix
+    assert not alias._owns_ref
+    assert repr(alias) == "<Handle null>"
+    # The owner is untouched: releasing a non-owning alias drops no ref.
+    assert owner.deref() == "shared"
+
+
+def test_release_is_idempotent():
+    block = AllocationBlock(BLOCK_SIZE)
+    handle = make_object_on(block, String, "twice")
+    handle.release()
+    handle.release()
+    assert repr(handle) == "<Handle null>"

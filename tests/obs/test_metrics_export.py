@@ -21,7 +21,7 @@ SPEC = TpchSpec(n_customers=40, n_parts=60, n_suppliers=8, seed=3)
 
 @pytest.fixture(scope="module")
 def cluster():
-    cluster = PCCluster(n_workers=2, page_size=1 << 16)
+    cluster = PCCluster(n_workers=2, page_size=1 << 16, profiling=True)
     load_pc_customers(cluster, SPEC, replication=2)
     result, total = customers_per_supplier_pc(cluster)
     assert total > 0  # the job really ran
@@ -175,10 +175,10 @@ def test_network_stats_counter_keys_match_trace_mirror_names(cluster):
     net = cluster.network
     derived = net.metrics.stats_view("net.")
     stats = net.stats()
-    # delay_events/delay_ms surface in traces only; stats() reports the
-    # structured delay_s_total and by_link entries instead.
+    # delay_events/delay_ms surface in traces only; stats() additionally
+    # reports the structured by_link breakdown.
     assert set(derived) - set(stats) == {"delay_events", "delay_ms"}
-    assert set(stats) - set(derived) == {"delay_s_total", "by_link"}
+    assert set(stats) - set(derived) == {"by_link"}
     for key in set(derived) & set(stats):
         assert derived[key] == stats[key]
 
