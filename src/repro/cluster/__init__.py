@@ -8,6 +8,11 @@ from repro.cluster.scheduler import (
     DistributedScheduler,
     JobStage,
 )
+from repro.cluster.transport import (
+    ProcessTransport,
+    Transport,
+    make_transport,
+)
 from repro.cluster.worker import BackendProcess, WorkerNode
 
 __all__ = [
@@ -19,8 +24,11 @@ __all__ = [
     "FaultInjector",
     "JobStage",
     "PCCluster",
+    "ProcessTransport",
     "RetryPolicy",
     "SimulatedNetwork",
+    "Transport",
     "WorkerNode",
     "estimate_value_bytes",
+    "make_transport",
 ]

@@ -57,7 +57,7 @@ from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.tcap.compiler import compile_computations
 from repro.tcap.optimizer import optimize
 from repro.cluster.faults import RetryPolicy
-from repro.cluster.network import SimulatedNetwork
+from repro.cluster.transport import make_transport
 from repro.cluster.scheduler import (
     DEFAULT_BROADCAST_THRESHOLD,
     DistributedScheduler,
@@ -116,7 +116,7 @@ class PCCluster:
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
                  fault_injector=None, retry_policy=None, profiling=False,
-                 sanitize=False):
+                 sanitize=False, transport=None):
         # The master's durable territory: the catalog journals every DDL
         # and replica-map mutation (write-ahead) under the spill root, so
         # recover() can rebuild its state after a simulated master crash.
@@ -146,10 +146,15 @@ class PCCluster:
         self.fault_metrics = _FaultCounters(self.metrics_registry)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
-        self.network = SimulatedNetwork(
-            tracer=self.tracer, fault_injector=fault_injector,
+        # ``transport`` picks where worker back-ends live: "sim" (default)
+        # keeps them in-process and deterministic, "process" backs each one
+        # with a real spawned OS process attaching sealed pages over
+        # shared memory.  ``self.network`` stays as the historical alias.
+        self.transport = make_transport(
+            transport, tracer=self.tracer, fault_injector=fault_injector,
             retry_policy=self.retry_policy, metrics=self.metrics_registry,
         )
+        self.network = self.transport
         self.page_size = page_size
         self.batch_size = batch_size
         self.broadcast_threshold = broadcast_threshold
@@ -164,7 +169,7 @@ class PCCluster:
             worker = WorkerNode(
                 "worker-%d" % index, self.catalog, worker_memory, page_size,
                 spill_dir=spill, tracer=self.tracer,
-                fault_injector=fault_injector,
+                fault_injector=fault_injector, transport=self.transport,
             )
             self.workers.append(worker)
             self.storage_manager.attach_server(worker.storage)
@@ -621,6 +626,30 @@ class PCCluster:
     def healthy(self, check=None):
         """Whether every health rule passes right now."""
         return all(status.ok for status in self.health(check=check))
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    def close(self):
+        """Release transport-held resources (idempotent).
+
+        Under the process transport this returns every worker's child
+        process to the shared pool (or terminates it) and unlinks the
+        shared-memory segments the buffer pools still own.  The simulated
+        transport holds nothing, so closing is free — but closing every
+        cluster keeps code portable across transports.
+        """
+        for worker in self.workers:
+            worker.backend.shutdown()
+        for worker in self.workers:
+            worker.storage.pool.close()
+        self.transport.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
 
 class ClusterLoader:

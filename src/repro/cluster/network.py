@@ -1,4 +1,4 @@
-"""The simulated cluster network.
+"""The simulated cluster network — the deterministic transport.
 
 All inter-node traffic in the simulation flows through one
 :class:`SimulatedNetwork` so the benches can report what PC's design is
@@ -9,269 +9,40 @@ Within one OS process "shipping" is of course free; the value of the
 accounting is comparative — the Spark-like baseline pays real pickling
 CPU on every boundary, while the PC path ships page bytes verbatim.
 
+The shipping and accounting machinery now lives in the shared
+:class:`~repro.cluster.transport.Transport` base (so the process-backed
+transport accounts identically); what makes this subclass the simulator
+is that its worker back-ends stay in-process — single-threaded,
+deterministic, and exactly reproducible under seeded fault injection,
+which is why it remains the CI/fault-matrix backend.
+
 Besides the global counters, every transfer is reported into the active
 trace span (when a :class:`~repro.obs.Tracer` is attached and a job is
 running), so ``cluster.last_trace`` can attribute shuffle traffic to the
 stage that caused it (counters ``net.bytes_total``, ``net.bytes_zero_copy``,
 ``net.bytes_rows``, ``net.messages``, and ``net.link.<src>-><dst>``).
 
-A :class:`~repro.cluster.faults.FaultInjector` can drop or delay any
-transfer.  Dropped transfers are re-sent up to
+A :class:`~repro.cluster.faults.FaultInjector` can drop, corrupt, or
+delay any transfer.  Dropped transfers are re-sent up to
 ``RetryPolicy.transfer_retries`` times (counters
 ``net.transfers_dropped`` / ``net.transfer_retries``); when the budget is
 exhausted a :class:`~repro.errors.TransferDroppedError` surfaces to the
-caller.  Delays are *simulated*: the delay seconds are accounted
-(``net.delay_ms``), not slept.
+caller.  Corrupted page *and row* transfers are detected by checksum on
+receipt and re-sent within the same budget.  Delays are *simulated*: the
+delay seconds are accounted (``net.delay_ms``), not slept.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
-from repro.errors import PageCorruptionError, TransferDroppedError
-from repro.obs import MetricsRegistry, Tracer
-from repro.storage.replication import corrupt_bytes, page_checksum
-
-
-def estimate_value_bytes(value):
-    """Cheap size estimate for row-shipped Python values."""
-    if isinstance(value, str):
-        return 16 + len(value)
-    if isinstance(value, (list, tuple)):
-        return 16 + sum(estimate_value_bytes(v) for v in value)
-    if isinstance(value, dict):
-        return 16 + sum(
-            estimate_value_bytes(k) + estimate_value_bytes(v)
-            for k, v in value.items()
-        )
-    nbytes = getattr(value, "nbytes", None)
-    if nbytes is not None:
-        return 16 + int(nbytes)
-    return 16
+from repro.cluster.transport import (  # noqa: F401 - re-exported API
+    Transport,
+    estimate_value_bytes,
+    rows_checksum,
+)
 
 
-class SimulatedNetwork:
+class SimulatedNetwork(Transport):
     """Byte-accounted message passing between simulated nodes."""
 
-    def __init__(self, tracer=None, fault_injector=None, retry_policy=None,
-                 metrics=None):
-        self.tracer = tracer or Tracer()
-        self.fault_injector = fault_injector
-        self.retry_policy = retry_policy
-        # All accounting lives in the metrics registry; each counter
-        # declares its trace-mirror name once, so the trace counters,
-        # the Prometheus series, and stats() cannot drift apart.
-        self.metrics = metrics if metrics is not None else \
-            MetricsRegistry(tracer=self.tracer)
-        self._c_messages = self.metrics.counter(
-            "pc_net_messages_total", help="Simulated network transfers",
-            trace="net.messages",
-        )
-        self._c_bytes_total = self.metrics.counter(
-            "pc_net_bytes_total", help="Bytes moved over the network",
-            trace="net.bytes_total",
-        )
-        self._c_bytes_zero_copy = self.metrics.counter(
-            "pc_net_bytes_zero_copy_total",
-            help="Bytes moved as whole PC pages (no serde)",
-            trace="net.bytes_zero_copy",
-        )
-        self._c_bytes_rows = self.metrics.counter(
-            "pc_net_bytes_rows_total",
-            help="Bytes moved as structured rows (join shuffles)",
-            trace="net.bytes_rows",
-        )
-        self._c_link_bytes = self.metrics.counter(
-            "pc_net_link_bytes_total",
-            help="Bytes moved per (src, dst) link",
-            labelnames=("src", "dst"),
-            trace="net.link.{src}->{dst}",
-        )
-        self._c_transfers_dropped = self.metrics.counter(
-            "pc_net_transfers_dropped_total",
-            help="Transfers dropped by fault injection",
-            trace="net.transfers_dropped",
-        )
-        self._c_transfers_corrupted = self.metrics.counter(
-            "pc_net_transfers_corrupted_total",
-            help="Transfers delivered with bit-flipped payloads",
-            trace="net.transfers_corrupted",
-        )
-        self._c_transfer_retries = self.metrics.counter(
-            "pc_net_transfer_retries_total",
-            help="Re-sends after drops or detected corruption",
-            trace="net.transfer_retries",
-        )
-        self._c_delay_events = self.metrics.counter(
-            "pc_net_delay_events_total",
-            help="Transfers hit by an injected delay",
-            trace="net.delay_events",
-        )
-        self._c_delay_ms = self.metrics.counter(
-            "pc_net_delay_ms_total",
-            help="Simulated delay in whole milliseconds",
-            trace="net.delay_ms",
-        )
-        self._c_delay_seconds = self.metrics.counter(
-            "pc_net_delay_seconds_total",
-            help="Simulated delay in (float) seconds",
-            trace="net.delay_s_total",
-        )
-
-    # Legacy counter attributes: read-only views over the registry.
-
-    @property
-    def messages(self):
-        return self._c_messages.value
-
-    @property
-    def bytes_total(self):
-        return self._c_bytes_total.value
-
-    @property
-    def bytes_zero_copy(self):
-        return self._c_bytes_zero_copy.value
-
-    @property
-    def bytes_rows(self):
-        return self._c_bytes_rows.value
-
-    @property
-    def by_link(self):
-        """Fresh ``{(src, dst): bytes}`` dict — mutating it cannot touch
-        the network's own accounting."""
-        link = defaultdict(int)
-        for (src, dst), nbytes in self._c_link_bytes.series().items():
-            link[(src, dst)] = nbytes
-        return link
-
-    @property
-    def transfers_dropped(self):
-        return self._c_transfers_dropped.value
-
-    @property
-    def transfers_corrupted(self):
-        return self._c_transfers_corrupted.value
-
-    @property
-    def transfer_retries(self):
-        return self._c_transfer_retries.value
-
-    @property
-    def delay_s_total(self):
-        return self._c_delay_seconds.value
-
-    def _record(self, src, dst, nbytes, counter):
-        self._c_messages.inc()
-        self._c_bytes_total.inc(nbytes)
-        self._c_link_bytes.inc(nbytes, src=src, dst=dst)
-        counter.inc(nbytes)
-
-    def _retry_budget(self):
-        return (
-            self.retry_policy.transfer_retries
-            if self.retry_policy is not None else 0
-        )
-
-    def _deliver(self, src, dst, nbytes, counter):
-        """Attempt delivery, re-sending dropped transfers per policy.
-
-        Returns the final verdict: ``"deliver"`` or ``"corrupt"`` (the
-        payload arrived, but bit-flipped — the *caller* decides whether
-        its payload type can detect that).
-        """
-        attempts = 0
-        while True:
-            verdict, delay_s = "deliver", 0.0
-            if self.fault_injector is not None:
-                verdict, delay_s = self.fault_injector.on_transfer(
-                    src, dst, nbytes
-                )
-            if delay_s:
-                self._c_delay_seconds.inc(delay_s)
-                self._c_delay_events.inc()
-                self._c_delay_ms.inc(int(delay_s * 1000))
-            if verdict != "drop":
-                self._record(src, dst, nbytes, counter)
-                return verdict
-            self._c_transfers_dropped.inc()
-            budget = self._retry_budget()
-            if attempts >= budget:
-                raise TransferDroppedError(
-                    "transfer %s->%s (%d bytes) dropped and retry budget "
-                    "of %d exhausted" % (src, dst, nbytes, budget)
-                )
-            attempts += 1
-            self._c_transfer_retries.inc()
-
-    def ship_page(self, src, dst, data, checksum=None):
-        """Move a PC page's bytes; zero serialization on either end.
-
-        With a ``checksum`` (the page's sealed CRC32), the arrived bytes
-        are verified on receipt: a corrupted arrival is re-sent within
-        the transfer retry budget and raises
-        :class:`~repro.errors.PageCorruptionError` once it is exhausted,
-        so corrupted bytes are never handed to the receiver.  Without a
-        checksum, a corrupted payload is delivered as-is — downstream
-        integrity checks (spill reload, replicated reads) catch it.
-        """
-        nbytes = len(data)
-        attempts = 0
-        while True:
-            verdict = self._deliver(src, dst, nbytes, self._c_bytes_zero_copy)
-            payload = data
-            if verdict == "corrupt":
-                payload = corrupt_bytes(data)
-                self._c_transfers_corrupted.inc()
-            if checksum is None or page_checksum(payload) == checksum:
-                return payload
-            budget = self._retry_budget()
-            if attempts >= budget:
-                raise PageCorruptionError(
-                    "page transfer %s->%s (%d bytes) arrived corrupt and "
-                    "the re-send budget of %d is exhausted"
-                    % (src, dst, nbytes, budget)
-                )
-            attempts += 1
-            self._c_transfer_retries.inc()
-
-    def ship_rows(self, src, dst, rows):
-        """Move structured rows (the join-shuffle path).
-
-        A ``corrupt`` verdict does not apply to structured rows (they are
-        re-validated by the engine, not checksummed); the payload is
-        delivered unchanged.
-        """
-        nbytes = sum(estimate_value_bytes(row) for row in rows)
-        self._deliver(src, dst, nbytes, self._c_bytes_rows)
-        return rows
-
-    def stats(self):
-        return {
-            "messages": self.messages,
-            "bytes_total": self.bytes_total,
-            "bytes_zero_copy": self.bytes_zero_copy,
-            "bytes_rows": self.bytes_rows,
-            "transfers_dropped": self.transfers_dropped,
-            "transfers_corrupted": self.transfers_corrupted,
-            "transfer_retries": self.transfer_retries,
-            "delay_s_total": self.delay_s_total,
-            # Serializable per-link breakdown: "src->dst" -> bytes.  This
-            # is what exposes skewed shuffle partners in cluster.stats().
-            # Built fresh on every call — callers mutating the returned
-            # dict cannot corrupt the network's accounting.
-            "by_link": {
-                "%s->%s" % link: nbytes
-                for link, nbytes in self.by_link.items()
-            },
-        }
-
-    def reset(self):
-        for counter in (
-            self._c_messages, self._c_bytes_total, self._c_bytes_zero_copy,
-            self._c_bytes_rows, self._c_link_bytes,
-            self._c_transfers_dropped, self._c_transfers_corrupted,
-            self._c_transfer_retries, self._c_delay_events,
-            self._c_delay_ms, self._c_delay_seconds,
-        ):
-            counter.reset()
+    name = "sim"
+    page_residency = "mem"

@@ -1,0 +1,268 @@
+"""The task loop of a process-backed worker back-end.
+
+This module is the *child* side of :class:`~repro.cluster.transport.
+ProcessTransport`: it runs in a spawned OS process and executes one task
+at a time off a queue.  A task arrives fully described — the compiled
+program, the stage list, the source (shared-memory page names or plain
+columns), the sink kind — so the child needs none of the coordinator's
+cluster machinery; it deliberately imports only the engine and memory
+layers.
+
+Sealed pages are attached zero-copy: the coordinator exports each page's
+``multiprocessing.shared_memory`` segment name, the child attaches by
+name and wraps the mapped bytes in an
+:meth:`~repro.memory.block.AllocationBlock.from_buffer` view — the
+paper's "a page moves between processes with zero (de)serialization",
+for real this time.
+
+Results travel back as plain Python values plus the engine-metric and
+trace-counter deltas the coordinator replays into its shadow engine.  A
+task whose result would carry PC objects (handles/facades pointing into
+page memory) is *rejected*, not failed: the coordinator re-runs that
+portion inline.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+
+from multiprocessing import shared_memory
+
+from repro.engine.pipeline import (
+    AggregateSink,
+    HashBuildSink,
+    MaterializeSink,
+    PipelineEngine,
+    object_batches,
+)
+from repro.engine.vectors import batches_of
+from repro.memory.block import AllocationBlock
+from repro.memory.builtins import AnyObject, VectorType
+
+_ROOT_VECTOR = VectorType(AnyObject)
+
+
+class _TaskRejected(Exception):
+    """The task cannot run (or return) remotely; run it inline instead."""
+
+
+class _PlanStub:
+    """The one slice of the physical plan the engine consults."""
+
+    def __init__(self, build_sides):
+        self.build_sides = build_sides
+
+
+class _CountingTracer:
+    """Collects tracer counter increments so they can be shipped back."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def add(self, name, value=1):
+        self.counts[name] = self.counts.get(name, 0) + value
+
+    def inc(self, name, value=1):
+        self.add(name, value)
+
+    def event(self, *args, **kwargs):
+        pass
+
+
+class _StagesView:
+    """Adapter giving a bare stage list the Pipeline interface."""
+
+    def __init__(self, stages):
+        self.stages = stages
+
+
+def _disown(shm):
+    """Detach a segment from this process's resource tracker.
+
+    The coordinator owns every segment's lifecycle (it created them and
+    unlinks them on eviction/close); left registered here, the child's
+    tracker would unlink segments the coordinator still serves at child
+    exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001  # pcsan: disable=PC005
+        pass  # tracker internals vary by version; worst case is a warning
+
+
+#: (shm, view) pairs whose buffers were still referenced at detach time
+#: (e.g. numpy views created by user stages); re-tried after later tasks.
+_lingering = []
+
+
+def _detach(attachments):
+    for pair in attachments + _lingering[:]:
+        shm, view = pair
+        try:
+            view.release()
+        except BufferError:
+            if pair not in _lingering:
+                _lingering.append(pair)
+            continue
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover  # pcsan: disable=PC005
+            continue  # view released above, so close() cannot raise this
+        if pair in _lingering:
+            _lingering.remove(pair)
+
+
+def _page_objects(blocks):
+    """Yield every root-vector object of the attached page blocks."""
+    for block in blocks:
+        offset, _code = block.root()
+        if offset is None:
+            continue
+        for handle in _ROOT_VECTOR.facade(block, offset):
+            yield handle
+
+
+def _source_batches(source, engine, registry, attachments):
+    kind = source[0]
+    if kind == "pages":
+        blocks = []
+        for name, size in source[1]:
+            shm = shared_memory.SharedMemory(name=name)
+            _disown(shm)
+            # shm.buf is the mapped segment, not a PC block's
+            # backing store; the block façade is built over it below.
+            view = memoryview(shm.buf)[:size]  # pcsan: disable=PC002
+            attachments.append((shm, view))
+            blocks.append(AllocationBlock.from_buffer(view, registry=registry))
+        return object_batches(
+            _page_objects(blocks), source[2], engine.batch_size
+        )
+    return batches_of(source[1], engine.batch_size)
+
+
+def _build_sink(engine, sink_spec):
+    kind = sink_spec[0]
+    if kind == "aggregate":
+        # merge semantics apply against the coordinator's store, so the
+        # child always builds plain groups; the coordinator's sink
+        # merges on install.
+        return AggregateSink(engine, sink_spec[1])
+    if kind == "hash_build":
+        return HashBuildSink(engine, sink_spec[1])
+    if kind == "materialize":
+        return MaterializeSink(engine, sink_spec[1])
+    raise _TaskRejected("unknown sink kind %r" % (kind,))
+
+
+def _run_collect(engine, stages, batches, tracer):
+    """Mirror of the scheduler's inline collect loop, counters included."""
+    columns = None
+    for batch in batches:
+        engine.metrics.batches += 1
+        engine.metrics.rows_in += len(batch)
+        tracer.add("engine.batches")
+        tracer.add("engine.rows_in", len(batch))
+        current = batch
+        empty = False
+        for stage in stages:
+            engine.metrics.stage_invocations += 1
+            current = engine._apply_stage(stage, current)
+            if len(current) == 0:
+                empty = True
+                break
+        if empty:
+            continue
+        tracer.add("engine.rows_out", len(current))
+        if columns is None:
+            columns = {name: [] for name in current.names()}
+        for name in columns:
+            columns[name].extend(current.column(name))
+    return columns
+
+
+def _reject_pc_values(value, depth=0):
+    """Refuse to ship results still pointing into page memory."""
+    if hasattr(value, "pc_block") or hasattr(value, "deref"):
+        raise _TaskRejected(
+            "result holds PC objects; page-backed values cannot leave "
+            "the back-end process"
+        )
+    if depth >= 4 or value is None:
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _reject_pc_values(key, depth + 1)
+            _reject_pc_values(item, depth + 1)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _reject_pc_values(item, depth + 1)
+
+
+def _execute(spec):
+    tracer = _CountingTracer()
+    engine = PipelineEngine(
+        spec["program"], _PlanStub(spec["build_sides"]), None,
+        batch_size=spec["batch_size"], tracer=tracer,
+    )
+    engine.hash_tables.update(spec["hash_tables"])
+    attachments = []
+    try:
+        batches = _source_batches(
+            spec["source"], engine, spec["registry"], attachments
+        )
+        stages = spec["stages"]
+        sink_spec = spec["sink"]
+        kind = sink_spec[0]
+        if kind == "collect":
+            result = _run_collect(engine, stages, batches, tracer)
+        else:
+            sink = _build_sink(engine, sink_spec)
+            view = _StagesView(stages)
+            for batch in batches:
+                engine.metrics.batches += 1
+                engine.metrics.rows_in += len(batch)
+                engine._process_batch(view, batch, sink)
+            if kind == "aggregate":
+                result = (list(sink.groups.keys()),
+                          list(sink.groups.values()))
+            elif kind == "hash_build":
+                result = sink.table
+            else:
+                result = sink.columns
+        _reject_pc_values(result)
+        deltas = {"metrics": engine.metrics.as_dict(),
+                  "trace": tracer.counts}
+        return result, deltas
+    finally:
+        _detach(attachments)
+
+
+def backend_main(task_queue, result_queue):
+    """The back-end process's main loop: one task at a time, until None."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        task_id, blob = item
+        try:
+            spec = pickle.loads(blob)
+            result, deltas = _execute(spec)
+        except _TaskRejected as rejected:
+            result_queue.put((task_id, "reject", str(rejected)))
+            continue
+        except Exception:  # noqa: BLE001 - reported as a crash, parent re-forks
+            result_queue.put(
+                (task_id, "error", traceback.format_exc(limit=20))
+            )
+            continue
+        try:
+            payload = pickle.dumps((result, deltas))
+        except Exception as exc:  # noqa: BLE001 - unshippable, not fatal
+            result_queue.put(
+                (task_id, "reject", "unpicklable result: %s" % exc)
+            )
+            continue
+        result_queue.put((task_id, "ok", payload))

@@ -57,10 +57,19 @@ from repro.engine.pipeline import (
     PipelineEngine,
     Sink,
 )
+from repro.cluster.transport import (
+    RemoteOutcome,
+    RemoteTask,
+    remote_available,
+    serialize_task,
+)
 from repro.engine.vectors import batches_of
 from repro.errors import (
+    BufferPoolExhaustedError,
     ExecutionError,
+    InjectedFaultError,
     PageReloadError,
+    StorageError,
     WorkerCrashError,
     WorkerLostError,
 )
@@ -112,6 +121,8 @@ class DistributedScheduler:
         self.job_log = []
         self._checkpoints = {}  # worker_id -> {"hash_tables": .., "store": ..}
         self._current_stage = None
+        #: remote (process-backed) offload needs cloudpickle for task blobs
+        self._remote_off = not remote_available()
 
     # -- engines -------------------------------------------------------------------
 
@@ -222,13 +233,63 @@ class DistributedScheduler:
 
     # -- fault recovery -----------------------------------------------------------------
 
-    def _run_worker_task(self, worker, make_attempt):
-        """Run one worker's portion of the current stage, with retries.
+    def _armed_attempt(self, worker, stage_kind, make_attempt):
+        """Build one attempt, substituting an injected crash when armed.
 
         ``make_attempt()`` builds the attempt fresh — re-reading sources
         from front-end storage and re-creating the sink — and returns
-        ``(run, abort)``: the closure to dispatch and a rollback undoing
-        any durable half-effects (partial output pages) of a failed try.
+        ``(payload, abort)``: what to dispatch (a closure, or a
+        :class:`RemoteTask` bound for a back-end process) and a rollback
+        undoing any durable half-effects of a failed try.  When the fault
+        injector decrees a crash for this attempt, the payload is
+        replaced by a raising closure, so injected crashes behave
+        identically on every transport: the back-end runs it, crashes,
+        and is re-forked (killing a real child process, if there is one).
+        """
+        payload, abort = make_attempt()
+        if self.faults is not None and self.faults.should_crash_backend(
+            worker.worker_id, stage_kind
+        ):
+            self._cleanup_payload(payload)
+            worker_id = worker.worker_id
+
+            def crash():
+                raise InjectedFaultError(
+                    "injected back-end crash on %s during %s"
+                    % (worker_id, stage_kind)
+                )
+
+            payload = crash
+        return payload, abort
+
+    @staticmethod
+    def _cleanup_payload(payload):
+        """Release a payload's held resources (exported-page pins), once."""
+        if isinstance(payload, RemoteTask) and payload.cleanup is not None:
+            cleanup, payload.cleanup = payload.cleanup, None
+            cleanup()
+
+    def _retry_pause(self, worker, stage_kind, attempts):
+        """The backoff between attempts, reported as a ``retry`` span."""
+        backoff = self.retry_policy.backoff_s(attempts)
+        with self.tracer.span(
+            "retry", kind="retry",
+            detail="%s on %s, attempt %d"
+            % (stage_kind, worker.worker_id, attempts + 1),
+        ) as retry_span:
+            retry_span.inc("retry.count")
+            retry_span.inc(
+                "retry.backoff_ms", max(1, int(backoff * 1000))
+            )
+            self.retry_policy.sleep(backoff)
+
+    def _run_worker_task(self, worker, make_attempt):
+        """Run one worker's portion of the current stage, with retries.
+
+        Synchronous form: dispatch happens inside the task span, so the
+        engine counters a simulated back-end emits while running are
+        attributed to this worker's task — exactly as before transports
+        became pluggable.
         """
         policy = self.retry_policy
         stage = self._current_stage
@@ -237,25 +298,19 @@ class DistributedScheduler:
         started = policy.clock()
         while True:
             attempts += 1
-            run, abort = make_attempt()
-
-            def attempt():
-                if self.faults is not None and \
-                        self.faults.should_crash_backend(
-                            worker.worker_id, stage_kind):
-                    from repro.errors import InjectedFaultError
-
-                    raise InjectedFaultError(
-                        "injected back-end crash on %s during %s"
-                        % (worker.worker_id, stage_kind)
-                    )
-                run()
-
+            payload, abort = self._armed_attempt(
+                worker, stage_kind, make_attempt
+            )
             try:
-                with self._task_span(worker) as span:
-                    if attempts > 1:
-                        span.inc("task.retry_attempt")
-                    worker.dispatch(attempt)
+                try:
+                    with self._task_span(worker) as span:
+                        if attempts > 1:
+                            span.inc("task.retry_attempt")
+                        outcome = worker.dispatch(payload)
+                        if isinstance(outcome, RemoteOutcome):
+                            payload.on_result(outcome)
+                finally:
+                    self._cleanup_payload(payload)
                 if attempts > 1:
                     self.fault_metrics.tasks_recovered.inc()
                 return
@@ -268,17 +323,125 @@ class DistributedScheduler:
                     self._fail_permanently(
                         worker, stage, attempts, crash, timed_out
                     )
-                backoff = policy.backoff_s(attempts)
-                with self.tracer.span(
-                    "retry", kind="retry",
-                    detail="%s on %s, attempt %d"
-                    % (stage_kind, worker.worker_id, attempts + 1),
-                ) as retry_span:
-                    retry_span.inc("retry.count")
-                    retry_span.inc(
-                        "retry.backoff_ms", max(1, int(backoff * 1000))
+                self._retry_pause(worker, stage_kind, attempts)
+
+    def _submit_attempt(self, worker, make_attempt):
+        """Submit one worker's first attempt without awaiting it."""
+        stage = self._current_stage
+        stage_kind = stage.kind if stage is not None else "task"
+        payload, abort = self._armed_attempt(worker, stage_kind, make_attempt)
+        return {
+            "payload": payload, "abort": abort,
+            "future": worker.submit(payload),
+            "attempts": 1, "started": self.retry_policy.clock(),
+        }
+
+    def _await_attempt(self, worker, make_attempt, state):
+        """Await a submitted attempt, retrying (resubmitting) on crashes."""
+        policy = self.retry_policy
+        stage = self._current_stage
+        stage_kind = stage.kind if stage is not None else "task"
+        while True:
+            payload = state["payload"]
+            try:
+                try:
+                    with self._task_span(worker) as span:
+                        if state["attempts"] > 1:
+                            span.inc("task.retry_attempt")
+                        outcome = worker.await_result(state["future"])
+                        if isinstance(outcome, RemoteOutcome):
+                            payload.on_result(outcome)
+                finally:
+                    self._cleanup_payload(payload)
+                if state["attempts"] > 1:
+                    self.fault_metrics.tasks_recovered.inc()
+                return
+            except WorkerCrashError as crash:
+                self.fault_metrics.backend_crashes.inc()
+                if state["abort"] is not None:
+                    state["abort"]()
+                timed_out = policy.timed_out(state["started"])
+                if timed_out or not policy.should_retry(state["attempts"]):
+                    self._fail_permanently(
+                        worker, stage, state["attempts"], crash, timed_out
                     )
-                    policy.sleep(backoff)
+                self._retry_pause(worker, stage_kind, state["attempts"])
+                state["attempts"] += 1
+                payload, abort = self._armed_attempt(
+                    worker, stage_kind, make_attempt
+                )
+                state["payload"], state["abort"] = payload, abort
+                state["future"] = worker.submit(payload)
+
+    def _parallel(self):
+        """Whether submit-all/await-all buys real overlap on this cluster."""
+        return any(
+            getattr(worker.backend, "asynchronous", False)
+            for worker in self.workers
+        )
+
+    def _run_worker_tasks(self, items, on_lost=None):
+        """Run per-worker attempts, overlapping them when back-ends allow.
+
+        ``items`` is a list of ``(worker, make_attempt)`` pairs.  With
+        synchronous back-ends (the simulator) the workers run strictly in
+        order — the exact pre-transport behavior, including mid-loop
+        blacklist checks and immediate loss handling.  With asynchronous
+        (process) back-ends every worker's first attempt is submitted up
+        front and awaited in order; losses are handled *after* all awaits
+        finish, because already-submitted survivors snapshot their
+        sources at submit time and cannot pick up orphans mid-flight.
+
+        ``on_lost(worker, lost, completed)`` absorbs a lost worker or
+        re-raises; without it the loss propagates immediately.  Returns
+        the set of worker ids that completed their portion.
+        """
+        completed = set()
+        if not self._parallel():
+            for worker, make_attempt in items:
+                if worker.worker_id in self.cluster.blacklist:
+                    continue
+                try:
+                    self._run_worker_task(worker, make_attempt)
+                    completed.add(worker.worker_id)
+                except WorkerLostError as lost:
+                    if on_lost is None:
+                        raise
+                    on_lost(worker, lost, completed)
+            return completed
+        pending = []
+        for worker, make_attempt in items:
+            if worker.worker_id in self.cluster.blacklist:
+                continue
+            pending.append((
+                worker, make_attempt,
+                self._submit_attempt(worker, make_attempt),
+            ))
+        losses = []
+        for worker, make_attempt, state in pending:
+            try:
+                self._await_attempt(worker, make_attempt, state)
+                completed.add(worker.worker_id)
+            except WorkerLostError as lost:
+                if on_lost is None:
+                    raise
+                losses.append((worker, lost))
+        for worker, lost in losses:
+            # _fail_permanently's surviving-workers check ran against
+            # the cluster as it stood at await time; earlier entries in
+            # this loop may have decommissioned workers since.  Re-check
+            # the floor before each deferred loss is absorbed.
+            if len(self.workers) - 1 < self.retry_policy.min_surviving_workers:
+                raise ExecutionError(
+                    "worker %s lost (%s), but decommissioning it would "
+                    "leave fewer than %d surviving worker(s)"
+                    % (
+                        lost.worker_id, lost.reason,
+                        self.retry_policy.min_surviving_workers,
+                    )
+                ) from lost
+            on_lost(worker, lost, completed)
+        return completed
 
     def _fail_permanently(self, worker, stage, attempts, crash, timed_out):
         """A worker task is out of retries: blacklist or fail the job."""
@@ -382,9 +545,207 @@ class DistributedScheduler:
         """Fresh source batches for one attempt, off the current engine."""
         return lambda: self.engine_for(worker)._source_batches(pipeline)
 
-    def _run_stages_collect(self, worker, stages, batches_factory):
-        """Run ``stages`` over fresh batches; returns collected columns."""
-        result = {}
+    # -- remote (process-backed) task offload ------------------------------------------
+
+    def _scan_source_builder(self, worker, pipeline):
+        """A deferred shippable-source description for one worker.
+
+        Called per attempt; returns ``(source, cleanup)`` or None when
+        the portion must run inline.  Scan sources export the worker's
+        assigned pages as shared-memory references — mirroring the
+        replica-governed scan's page selection, failover accounting, and
+        corruption healing exactly — and keep every exported page
+        *pinned* until ``cleanup`` runs, so eviction cannot unlink a
+        segment the child is still reading.  A pool too small to pin the
+        whole scan falls back to inline execution (where the engine
+        streams pages one at a time through the spill machinery).
+        """
+        if pipeline.source_kind != SOURCE_SCAN:
+            source_name = pipeline.source
+
+            def build_store():
+                columns = self.engine_for(worker).store.get(source_name)
+                if columns is None:
+                    # Let the inline path raise its usual ExecutionError.
+                    return None
+                return ("columns", columns), None
+
+            return build_store
+        scan = pipeline.source
+
+        def build_scan():
+            repl = self.cluster.replication
+            pinned = []
+
+            def cleanup():
+                for pool, page_id in pinned:
+                    pool.unpin(page_id)
+
+            refs = []
+            try:
+                if repl.has_page_map(scan.database, scan.set_name):
+                    copies = repl.scan_page_copies(
+                        scan.database, scan.set_name,
+                        worker_id=worker.worker_id,
+                    )
+                elif worker.storage.has_set(scan.database, scan.set_name):
+                    page_set = worker.storage.get_set(
+                        scan.database, scan.set_name
+                    )
+                    copies = [
+                        (page_set, page_id)
+                        for page_id in page_set.page_ids
+                    ]
+                else:
+                    copies = []
+                for page_set, page_id in copies:
+                    pool = page_set.pool
+                    page = pool.pin(page_id)
+                    pinned.append((pool, page_id))
+                    if page.shm is None:
+                        cleanup()
+                        return None
+                    refs.append((page.shm.name, page.block.size))
+            except BufferPoolExhaustedError:
+                # Pool pressure: run this attempt inline, where the
+                # engine streams pages one at a time through the spill
+                # machinery instead of pinning the whole scan.
+                cleanup()
+                return None
+            except StorageError:
+                # A flaky reload or a missing replica: the inline scan
+                # would hit the same fault inside the back-end, so
+                # re-raise and let the attempt machinery treat it as a
+                # back-end crash — identical retry/refork accounting on
+                # both transports.
+                cleanup()
+                raise
+            return ("pages", refs, scan.column), cleanup
+
+        return build_scan
+
+    def _describe_sink(self, sink):
+        """A shippable description of a sink, or None if it must stay here.
+
+        Output sinks write worker-local pages and merge sinks fold into
+        coordinator state — both unshippable.  The child always builds
+        its sink plain (merge=False) and returns *pre-finish* state; the
+        coordinator installs it and runs ``finish()`` front-end side, so
+        merge semantics and the ``pre_aggregated_keys`` accounting happen
+        exactly once, in exactly one place.
+        """
+        if type(sink) is AggregateSink and not sink.merge:
+            return ("aggregate", sink.statement)
+        if type(sink) is HashBuildSink:
+            return ("hash_build", sink.join)
+        if type(sink) is MaterializeSink and not sink.merge:
+            return ("materialize", sink.vlist_name)
+        return None
+
+    def _install_sink_result(self, sink, result):
+        """Load a child's pre-finish sink state, then finish front-end side."""
+        if isinstance(sink, AggregateSink):
+            keys, vals = result
+            sink.groups = dict(zip(keys, vals))
+        elif isinstance(sink, HashBuildSink):
+            sink.table = result
+        else:
+            sink.columns = result
+        sink.finish()
+
+    def _apply_remote_deltas(self, worker, outcome):
+        """Replay a child's engine-metric and trace-counter deltas.
+
+        Applied inside the worker's task span, so trace attribution
+        matches the inline path; the engine's bound registry mirrors the
+        metric deltas into ``pc_engine_*`` automatically.
+        """
+        engine = self.engine_for(worker)
+        for field, delta in outcome.metrics.items():
+            if delta:
+                setattr(
+                    engine.metrics, field,
+                    getattr(engine.metrics, field) + delta,
+                )
+        for name, value in outcome.trace_counts.items():
+            self.tracer.add(name, value)
+
+    def _remote_task(self, worker, stages, source_builder, sink_spec,
+                     run_inline, install, label=""):
+        """Package one worker's stage portion for its back-end process.
+
+        Returns None whenever the portion must run inline instead: the
+        back-end is in-process, cloudpickle is unavailable, the sink or
+        source is unshippable, or the spec fails to serialize.  The
+        returned task's ``on_result`` replays the child's metric deltas
+        and installs the result through ``install(result)``.
+        """
+        if self._remote_off or sink_spec is None or source_builder is None:
+            return None
+        if not getattr(worker.backend, "asynchronous", False):
+            return None
+        try:
+            built = source_builder()
+        except StorageError as fault:
+            # Replay the export fault through the back-end so it books
+            # as a crash (retry + re-fork), mirroring where the inline
+            # scan would have raised it.
+            def replay_fault(fault=fault):
+                raise fault
+
+            return replay_fault
+        if built is None:
+            return None
+        source, cleanup = built
+        engine = self.engine_for(worker)
+        tables = {}
+        for stage in stages:
+            if isinstance(stage, JoinStmt):
+                table = engine.hash_tables.get(stage.output)
+                if table is None:
+                    self._run_cleanup(cleanup)
+                    return None
+                tables[stage.output] = table
+
+        def on_result(outcome):
+            self._apply_remote_deltas(worker, outcome)
+            install(outcome.result)
+
+        spec = {
+            "program": self.program,
+            "build_sides": dict(self.plan.build_sides),
+            "batch_size": self.cluster.batch_size,
+            "stages": list(stages),
+            "source": source,
+            "sink": sink_spec,
+            "hash_tables": tables,
+            # The master registry is authoritative and its codes are
+            # cluster-consistent (local catalogs mirror them on their
+            # simulated .so fetches); the worker-local registry may not
+            # have lazily fetched every type the pages reference yet.
+            "registry": self.cluster.catalog.registry,
+        }
+        try:
+            blob = serialize_task(spec)
+        except Exception:  # program/tables hold something unpicklable
+            self._run_cleanup(cleanup)
+            return None
+        return RemoteTask(
+            blob, run_inline, on_result,
+            label="%s on %s" % (label, worker.worker_id),
+            cleanup=cleanup,
+        )
+
+    @staticmethod
+    def _run_cleanup(cleanup):
+        if cleanup is not None:
+            cleanup()
+
+    # -- stage runners -----------------------------------------------------------------
+
+    def _collect_attempt(self, worker, stages, batches_factory,
+                         source_builder, result):
+        """make_attempt for a collect run; the columns land in ``result``."""
 
         def make_attempt():
             acc = {"columns": None}
@@ -415,14 +776,20 @@ class DistributedScheduler:
                     for name in acc["columns"]:
                         acc["columns"][name].extend(current.column(name))
 
-            return run, None
+            def install(res):
+                acc["columns"] = res
 
-        self._run_worker_task(worker, make_attempt)
-        return result["acc"]["columns"] or {}
+            task = self._remote_task(
+                worker, stages, source_builder, ("collect",), run,
+                install, label="collect",
+            )
+            return (task if task is not None else run), None
 
-    def _run_stages_into_sink(self, worker, stages, batches_factory,
-                              sink_factory):
-        """Run ``stages`` into a per-attempt sink built by ``sink_factory``."""
+        return make_attempt
+
+    def _sink_attempt(self, worker, stages, batches_factory, sink_factory,
+                      source_builder=None):
+        """make_attempt for a run that folds batches into a fresh sink."""
 
         def make_attempt():
             sink = sink_factory(worker)
@@ -436,9 +803,51 @@ class DistributedScheduler:
                     engine._process_batch(pipeline, batch, sink)
                 sink.finish()
 
-            return run, sink.abort
+            def install(res):
+                self._install_sink_result(sink, res)
 
-        self._run_worker_task(worker, make_attempt)
+            task = self._remote_task(
+                worker, stages, source_builder, self._describe_sink(sink),
+                run, install, label="sink",
+            )
+            return (task if task is not None else run), sink.abort
+
+        return make_attempt
+
+    def _run_stages_collect(self, worker, stages, batches_factory,
+                            source_builder=None):
+        """Run ``stages`` over fresh batches; returns collected columns."""
+        result = {}
+        self._run_worker_task(worker, self._collect_attempt(
+            worker, stages, batches_factory, source_builder, result
+        ))
+        return result["acc"]["columns"] or {}
+
+    def _run_stages_into_sink(self, worker, stages, batches_factory,
+                              sink_factory, source_builder=None):
+        """Run ``stages`` into a per-attempt sink built by ``sink_factory``."""
+        self._run_worker_task(worker, self._sink_attempt(
+            worker, stages, batches_factory, sink_factory, source_builder
+        ))
+
+    def _collect_from_workers(self, pipeline, stages):
+        """Every worker's collected columns for one segment, in order."""
+        workers = list(self.workers)
+        holders = [dict() for _ in workers]
+        items = [
+            (worker, self._collect_attempt(
+                worker, stages,
+                self._scan_batches_factory(worker, pipeline),
+                self._scan_source_builder(worker, pipeline),
+                holders[index],
+            ))
+            for index, worker in enumerate(workers)
+        ]
+        self._run_worker_tasks(items)
+        return [
+            (holder.get("acc") or {}).get("columns") or {}
+            for holder in holders
+        ]
 
     def _shuffle_columns(self, per_worker_columns, hash_column):
         """Repartition rows by ``hash % n_workers``; returns per-worker columns."""
@@ -486,20 +895,34 @@ class DistributedScheduler:
                 per_worker_columns, probe_hash
             )
             last = index == len(segments) - 1
-            next_columns = []
-            for w_index, worker in enumerate(self.workers):
-                def batches_factory(_cols=per_worker_columns[w_index]):
+            workers = list(self.workers)
+            holders = [dict() for _ in workers]
+            items = []
+            for w_index, worker in enumerate(workers):
+                cols = per_worker_columns[w_index]
+
+                def batches_factory(_cols=cols):
                     return batches_of(_cols, self.cluster.batch_size)
 
+                def source_builder(_cols=cols):
+                    return ("columns", _cols), None
+
                 if last:
-                    self._run_stages_into_sink(
-                        worker, segment, batches_factory, sink_factory
-                    )
+                    items.append((worker, self._sink_attempt(
+                        worker, segment, batches_factory, sink_factory,
+                        source_builder,
+                    )))
                 else:
-                    next_columns.append(self._run_stages_collect(
-                        worker, segment, batches_factory
-                    ))
-            per_worker_columns = next_columns
+                    items.append((worker, self._collect_attempt(
+                        worker, segment, batches_factory, source_builder,
+                        holders[w_index],
+                    )))
+            self._run_worker_tasks(items)
+            if not last:
+                per_worker_columns = [
+                    (holder.get("acc") or {}).get("columns") or {}
+                    for holder in holders
+                ]
 
     def _run_distributed_pipeline(self, pipeline, sink_factory):
         """Run a full pipeline on every worker, honoring join partitioning.
@@ -514,29 +937,25 @@ class DistributedScheduler:
         segments = self._segments(pipeline.stages)
         first, rest = segments[0], segments[1:]
         if not rest:
-            completed = set()
-            for worker in list(self.workers):
-                if worker.worker_id in self.cluster.blacklist:
-                    continue
-                try:
-                    self._run_stages_into_sink(
-                        worker, first,
-                        self._scan_batches_factory(worker, pipeline),
-                        sink_factory,
-                    )
-                    completed.add(worker.worker_id)
-                except WorkerLostError as lost:
-                    if not self._can_absorb(lost, pipeline):
-                        raise
-                    self._absorb_lost_worker(
-                        lost, pipeline, first, sink_factory, completed
-                    )
+            def on_lost(worker, lost, completed):
+                if not self._can_absorb(lost, pipeline):
+                    raise lost
+                self._absorb_lost_worker(
+                    lost, pipeline, first, sink_factory, completed
+                )
+
+            items = [
+                (worker, self._sink_attempt(
+                    worker, first,
+                    self._scan_batches_factory(worker, pipeline),
+                    sink_factory,
+                    self._scan_source_builder(worker, pipeline),
+                ))
+                for worker in list(self.workers)
+            ]
+            self._run_worker_tasks(items, on_lost=on_lost)
             return
-        collected = []
-        for worker in self.workers:
-            collected.append(self._run_stages_collect(
-                worker, first, self._scan_batches_factory(worker, pipeline)
-            ))
+        collected = self._collect_from_workers(pipeline, first)
         self._probe_segments(pipeline, collected, rest, sink_factory)
 
     def _can_absorb(self, lost, pipeline):
@@ -696,13 +1115,10 @@ class DistributedScheduler:
 
     def _run_build_stage(self, pipeline, join, mode):
         if mode == "broadcast":
-            merged = {}
-            for worker in self.workers:
-                self._run_stages_into_sink(
-                    worker, pipeline.stages,
-                    self._scan_batches_factory(worker, pipeline),
-                    lambda w: HashBuildSink(self.engine_for(w), join),
-                )
+            def build_sink_factory(w):
+                return HashBuildSink(self.engine_for(w), join)
+
+            def ship_to_master(worker, merged):
                 table = self.engine_for(worker).hash_tables[join.output]
                 rows = [row for bucket in table.values() for row in bucket]
                 self.cluster.network.ship_rows(
@@ -710,6 +1126,33 @@ class DistributedScheduler:
                 )
                 for hash_value, bucket in table.items():
                     merged.setdefault(hash_value, []).extend(bucket)
+
+            merged = {}
+            if self._parallel():
+                # Builds overlap across back-end processes; the ship and
+                # merge pass stays a serial coordinator loop.
+                items = [
+                    (worker, self._sink_attempt(
+                        worker, pipeline.stages,
+                        self._scan_batches_factory(worker, pipeline),
+                        build_sink_factory,
+                        self._scan_source_builder(worker, pipeline),
+                    ))
+                    for worker in self.workers
+                ]
+                self._run_worker_tasks(items)
+                for worker in self.workers:
+                    ship_to_master(worker, merged)
+            else:
+                # Deterministic simulator path: build and ship interleave
+                # per worker, preserving the historical fault-draw order.
+                for worker in self.workers:
+                    self._run_stages_into_sink(
+                        worker, pipeline.stages,
+                        self._scan_batches_factory(worker, pipeline),
+                        build_sink_factory,
+                    )
+                    ship_to_master(worker, merged)
             for worker in self.workers:
                 rows = [r for b in merged.values() for r in b]
                 self.cluster.network.ship_rows("master", worker.worker_id, rows)
@@ -719,12 +1162,7 @@ class DistributedScheduler:
         # Partitioned: collect (hash, row) per worker, shuffle, build shards.
         side = self.plan.build_sides[join.output]
         hash_column = join.right_hash if side == "right" else join.left_hash
-        collected = []
-        for worker in self.workers:
-            collected.append(self._run_stages_collect(
-                worker, pipeline.stages,
-                self._scan_batches_factory(worker, pipeline),
-            ))
+        collected = self._collect_from_workers(pipeline, pipeline.stages)
         shuffled = self._shuffle_columns(collected, hash_column)
         columns_kept = (
             join.right_columns if side == "right" else join.left_columns

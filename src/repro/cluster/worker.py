@@ -1,12 +1,19 @@
 """Worker nodes: the front-end / back-end process pair (Section 2).
 
-Each worker runs two "processes".  The *front-end* is crash-proof
+Each worker runs two processes.  The *front-end* is crash-proof
 infrastructure: the local catalog cache, the local storage server with
 its buffer pool, and the message proxy relaying requests.  The *back-end*
 is where potentially-unsafe user code runs; if a user stage raises, the
 front-end "re-forks" it — the back-end's transient state (pipeline
 engines, hash tables, materialized stores) is discarded and rebuilt,
 while the front-end's storage and catalog survive untouched.
+
+The back-end's execution model is the transport's choice: the simulated
+transport keeps it in-process (:class:`BackendProcess`, deterministic),
+the process transport backs it with a real spawned OS process whose
+dispatches are asynchronous — submitted to a per-worker task queue and
+awaited later.  :meth:`WorkerNode.dispatch` is submit + await in one
+call; the scheduler uses the split pair to run workers in parallel.
 
 The scheduler keys its per-job engine into :attr:`BackendProcess.engines`
 and must call :meth:`BackendProcess.release_job` when the job finishes;
@@ -17,13 +24,30 @@ otherwise engines of finished jobs would accumulate across executions
 from __future__ import annotations
 
 from repro.catalog import LocalCatalog
-from repro.errors import WorkerCrashError
+from repro.errors import BackendCrashedError, WorkerCrashError
 from repro.obs import MetricsRegistry
 from repro.storage import LocalStorageServer
 
 
+class CompletedFuture:
+    """An already-resolved dispatch result (synchronous back-ends)."""
+
+    def __init__(self, value=None, error=None):
+        self._value = value
+        self._error = error
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
 class BackendProcess:
-    """The process that actually runs user code."""
+    """The process that actually runs user code (in-process variant)."""
+
+    #: Whether submit() returns before the work ran.  The scheduler uses
+    #: this to decide between the serial loop and submit-all/await-all.
+    asynchronous = False
 
     def __init__(self, worker):
         self.worker = worker
@@ -33,7 +57,19 @@ class BackendProcess:
         self.crashed = False
 
     def run_user_code(self, fn, *args, **kwargs):
-        """Execute ``fn``; a raise marks this backend as crashed."""
+        """Execute ``fn``; a raise marks this backend as crashed.
+
+        A backend that already crashed rejects every further dispatch
+        until the front-end re-forks it: its transient state is gone,
+        so silently running more user code on it would produce wrong
+        answers, not crashes.
+        """
+        if self.crashed:
+            raise BackendCrashedError(
+                "back-end of worker %r already crashed; the front-end "
+                "must re-fork it before dispatching again"
+                % (self.worker.worker_id,)
+            )
         try:
             return fn(*args, **kwargs)
         except Exception as exc:  # noqa: BLE001 - user code can raise anything
@@ -43,18 +79,36 @@ class BackendProcess:
                 % (self.worker.worker_id, exc)
             ) from exc
 
+    def submit(self, fn, *args, **kwargs):
+        """Run ``fn`` now; returns an already-completed future.
+
+        Crashes are captured in the future (surfaced by ``result()``),
+        so synchronous and asynchronous back-ends give the scheduler the
+        same submit/await surface.
+        """
+        try:
+            return CompletedFuture(value=self.run_user_code(
+                fn, *args, **kwargs
+            ))
+        except WorkerCrashError as crash:
+            return CompletedFuture(error=crash)
+
+    def shutdown(self):
+        """Release backend resources (no-op for the in-process variant)."""
+
     def release_job(self, job_key):
         """Drop the transient engine of a finished job, if any."""
         self.engines.pop(job_key, None)
 
 
 class WorkerNode:
-    """One simulated worker: front-end process + forked back-end."""
+    """One worker: front-end process + (re-forkable) back-end."""
 
     def __init__(self, worker_id, master_catalog, capacity_bytes,
                  page_size, spill_dir=None, tracer=None,
-                 fault_injector=None):
+                 fault_injector=None, transport=None):
         self.worker_id = worker_id
+        self.transport = transport
         # Front-end components (survive backend crashes).  The worker's
         # metrics registry carries a constant ``worker`` label, so the
         # cluster-wide merge keeps per-worker attribution.
@@ -62,41 +116,78 @@ class WorkerNode:
         self.metrics = MetricsRegistry(
             labels={"worker": worker_id}, tracer=tracer
         )
+        self._c_reforks = self.metrics.counter(
+            "pc_worker_reforks_total",
+            help="Back-end processes re-forked after a crash",
+            trace="faults.reforks",
+        )
+        # The transport decides where sealed page bytes must live so its
+        # back-ends can reach them ("shm" for real child processes).
+        residency = (
+            transport.page_residency if transport is not None else "mem"
+        )
         self.storage = LocalStorageServer(
             worker_id, capacity_bytes, page_size=page_size,
             registry=self.local_catalog.registry, spill_dir=spill_dir,
             tracer=tracer, fault_injector=fault_injector,
-            metrics=self.metrics,
+            metrics=self.metrics, residency=residency,
         )
-        self.backend = BackendProcess(self)
-        self.refork_count = 0
+        if transport is not None:
+            self.backend = transport.make_backend(self)
+        else:
+            self.backend = BackendProcess(self)
+
+    @property
+    def refork_count(self):
+        """How often this worker's back-end has been re-forked."""
+        return self._c_reforks.value
 
     # -- the message proxy --------------------------------------------------------
 
-    def dispatch(self, fn, *args, **kwargs):
-        """Forward a computation request to the back-end process.
+    def submit(self, fn, *args, **kwargs):
+        """Hand a computation request to the back-end; returns a future.
+
+        Synchronous back-ends run it immediately (the future is already
+        resolved); process back-ends enqueue it on the worker's task
+        queue and return a pending future.
+        """
+        return self.backend.submit(fn, *args, **kwargs)
+
+    def await_result(self, future):
+        """Resolve a submitted dispatch, re-forking on a crash.
 
         On a crash the front-end re-forks the back-end (fresh transient
-        state) before re-raising, so the worker stays usable — the paper's
-        rationale for the dual-process design.  Recovery (re-dispatching
-        the failed portion) is the scheduler's job, via its RetryPolicy.
+        state; a real child process is killed and respawned) before
+        re-raising, so the worker stays usable — the paper's rationale
+        for the dual-process design.  Recovery (re-dispatching the
+        failed portion) is the scheduler's job, via its RetryPolicy.
         """
         try:
-            return self.backend.run_user_code(fn, *args, **kwargs)
+            return future.result()
         except WorkerCrashError:
             self.refork_backend()
             raise
 
+    def dispatch(self, fn, *args, **kwargs):
+        """Submit and await in one step (the synchronous proxy call)."""
+        return self.await_result(self.submit(fn, *args, **kwargs))
+
     def refork_backend(self):
         """Replace a crashed back-end with a fresh one.
 
-        The new backend starts with an empty :attr:`BackendProcess.engines`
-        map, so any engine a still-running job had registered is gone —
-        the scheduler rebuilds it (restoring checkpointed stage outputs)
-        on the next ``engine_for`` call.
+        The old backend is shut down first — for a process-backed worker
+        that *terminates the child process*; the replacement leases a
+        fresh one.  The new backend starts with an empty
+        :attr:`BackendProcess.engines` map, so any engine a still-running
+        job had registered is gone — the scheduler rebuilds it (restoring
+        checkpointed stage outputs) on the next ``engine_for`` call.
         """
-        self.backend = BackendProcess(self)
-        self.refork_count += 1
+        self.backend.shutdown()
+        if self.transport is not None:
+            self.backend = self.transport.make_backend(self)
+        else:
+            self.backend = BackendProcess(self)
+        self._c_reforks.inc()
 
     def __repr__(self):
         return "<WorkerNode %s>" % self.worker_id

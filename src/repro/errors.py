@@ -153,6 +153,15 @@ class InjectedFaultError(ClusterError):
     """A deterministic fault fired by a :class:`~repro.cluster.FaultInjector`."""
 
 
+class BackendCrashedError(ClusterError):
+    """A dispatch reached a back-end that already crashed.
+
+    Deliberately *not* a :class:`WorkerCrashError`: the crash already
+    happened and was reported; re-using the dead back-end without a
+    ``refork_backend()`` is a caller bug, not a new crash to retry.
+    """
+
+
 class TransferDroppedError(ClusterError):
     """A network transfer was dropped and its retry budget is exhausted."""
 

@@ -90,11 +90,14 @@ class AllocationBlock:
     )
 
     def __init__(self, size, policy=LIGHTWEIGHT_REUSE, registry=None,
-                 managed=True, buf=None, on_empty=None, metrics=None):
+                 managed=True, buf=None, on_empty=None, metrics=None,
+                 init_header=False):
         if buf is None:
             if size < BLOCK_HEADER_SIZE + OBJECT_HEADER_SIZE:
                 raise ValueError("block size %d too small" % size)
             buf = bytearray(size)
+            init_header = True
+        if init_header:
             layout.pack_block_header(buf, size, BLOCK_HEADER_SIZE, 0, policy)
             layout.write_handle_slot(buf, layout.ROOT_HANDLE_OFFSET, None, 0)
         self.buf = buf
@@ -388,6 +391,31 @@ class AllocationBlock:
             metrics=metrics,
         )
         return block
+
+    @classmethod
+    def from_buffer(cls, buf, registry=None, managed=False, metrics=None):
+        """Wrap an existing writable buffer *without copying it*.
+
+        This is how a back-end process attaches to a sealed page that
+        lives in shared memory: the buffer (a ``memoryview`` over the
+        mapped segment) becomes the block's storage verbatim, so the page
+        is readable with zero (de)serialization.  The caller must hand in
+        a buffer whose length equals the block size in its header.
+        """
+        block_size, _used, _active, policy = layout.unpack_block_header(buf)
+        if len(buf) != block_size:
+            raise ValueError(
+                "buffer length %d does not match block size %d"
+                % (len(buf), block_size)
+            )
+        return cls(
+            block_size,
+            policy=policy,
+            registry=registry,
+            managed=managed,
+            buf=buf,
+            metrics=metrics,
+        )
 
     def stats(self):
         """Allocator statistics, used by the ablation benchmarks."""

@@ -162,6 +162,27 @@ class TypeRegistry:
                 for code, (name, desc) in sorted(self._by_code.items())
             ]
 
+    # A registry must survive pickling so a real back-end *process* can
+    # receive the coordinator's type table (the paper's .so shipping,
+    # Section 6.3).  The lock and the catalog hooks are process-local:
+    # the copy gets a fresh lock and no hooks.
+
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "by_code": dict(self._by_code),
+                "by_name": dict(self._by_name),
+                "next_code": self._next_code,
+                "builtin_next": self._builtin_next,
+            }
+
+    def __setstate__(self, state):
+        self.__init__()
+        self._by_code.update(state["by_code"])
+        self._by_name.update(state["by_name"])
+        self._next_code = state["next_code"]
+        self._builtin_next = state["builtin_next"]
+
 
 _default_registry = TypeRegistry()
 

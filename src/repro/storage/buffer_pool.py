@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import weakref
 from collections import OrderedDict
 
 from repro.errors import (
@@ -22,9 +23,36 @@ from repro.errors import (
     PageReloadError,
     StorageError,
 )
+from repro.memory.block import AllocationBlock
 from repro.obs import MetricsRegistry, Tracer
 from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.replication import corrupt_bytes, page_checksum
+
+
+def _release_segments(pages, segments, graveyard):
+    """Close and unlink every shared-memory segment a pool left behind.
+
+    Module-level so ``weakref.finalize`` can run it after the pool itself
+    is gone.  Blocks are detached first so their memoryviews over the
+    mappings die and the segments can actually unmap; a segment whose
+    buffer is still exported (a facade somewhere keeps a view alive) is
+    unlinked anyway so the kernel reclaims it once the last mapping drops.
+    """
+    for page in pages.values():
+        if page.shm is not None:
+            page.block = None
+            page.shm = None
+    for shm in list(segments.values()) + list(graveyard):
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+    segments.clear()
+    del graveyard[:]
 
 
 class BufferPool:
@@ -32,15 +60,28 @@ class BufferPool:
 
     def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
                  registry=None, spill_dir=None, tracer=None,
-                 fault_injector=None, metrics=None):
+                 fault_injector=None, metrics=None, residency="mem"):
         if capacity_bytes < page_size:
             raise StorageError("buffer pool smaller than one page")
+        if residency not in ("mem", "shm"):
+            raise StorageError("unknown page residency %r" % (residency,))
         self.capacity_bytes = capacity_bytes
         self.page_size = page_size
         self.registry = registry
         self.tracer = tracer or Tracer()
         self.fault_injector = fault_injector
+        #: "mem" backs pages with private bytearrays; "shm" backs them
+        #: with named POSIX shared-memory segments so a back-end *process*
+        #: can attach to a sealed page by name (zero-copy hand-off).
+        self.residency = residency
+        self._shm_segments = {}  # page_id -> SharedMemory
+        self._shm_graveyard = []  # segments kept alive by exported views
+        self._shm_prefix = "pc%d-%s" % (os.getpid(), os.urandom(3).hex())
         self._pages = {}  # page_id -> Page
+        self._finalizer = weakref.finalize(
+            self, _release_segments,
+            self._pages, self._shm_segments, self._shm_graveyard,
+        )
         self._lru = OrderedDict()  # page_id -> None, oldest first
         self._next_page_id = 1
         self._in_memory_bytes = 0
@@ -109,6 +150,10 @@ class BufferPool:
             help="High-water mark of resident bytes since last profiler "
                  "scope reset",
         )
+        self._g_shm = self.metrics.gauge(
+            "pc_pool_shm_segments",
+            help="Shared-memory segments currently backing resident pages",
+        )
         self.metrics.on_collect(self._collect_gauges)
 
     def _collect_gauges(self):
@@ -116,6 +161,7 @@ class BufferPool:
         self._g_capacity.set(self.capacity_bytes)
         self._g_pages.set(len(self._pages))
         self._g_peak.set(self.peak_in_memory_bytes)
+        self._g_shm.set(len(self._shm_segments))
 
     def _grow_resident(self, nbytes):
         self._in_memory_bytes += nbytes
@@ -153,6 +199,139 @@ class BufferPool:
     def checksum_failures(self):
         return self._c_checksum_failures.value
 
+    # -- shared-memory backing ----------------------------------------------------
+
+    def _shm_create(self, page_id, block_size):
+        """A named shared-memory segment sized for one block.
+
+        The kernel may round the mapping up to a whole number of VM pages;
+        the returned memoryview is sliced back to exactly ``block_size`` so
+        block-header bookkeeping never sees the slack.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name="%s-%d" % (self._shm_prefix, page_id),
+            create=True, size=block_size,
+        )
+        self._shm_segments[page_id] = shm
+        # shm.buf is the raw mapping the AllocationBlock is built over,
+        # not an existing block's backing store.
+        return shm, memoryview(shm.buf)[:block_size]  # pcsan: disable=PC002
+
+    def _fresh_page(self, page_id, size, set_key, policy):
+        kwargs = {"registry": self.registry, "metrics": self.metrics}
+        if policy is not None:
+            kwargs["policy"] = policy
+        if self.residency != "shm":
+            return Page.fresh(page_id, size, set_key=set_key, **kwargs)
+        shm, buf = self._shm_create(page_id, size)
+        block = AllocationBlock(size, buf=buf, init_header=True, **kwargs)
+        page = Page(page_id, block, set_key=set_key)
+        page.shm = shm
+        return page
+
+    def _reconstitute_page(self, page_id, data, set_key):
+        """Page from shipped/spilled bytes, honoring the residency mode."""
+        if self.residency != "shm":
+            return Page.from_bytes(
+                page_id, data, registry=self.registry, set_key=set_key,
+                metrics=self.metrics,
+            )
+        from repro.memory import layout
+
+        block_size = layout.unpack_block_header(data)[0]
+        shm, buf = self._shm_create(page_id, block_size)
+        try:
+            buf[: len(data)] = data
+            block = AllocationBlock.from_buffer(
+                buf, registry=self.registry, metrics=self.metrics,
+            )
+        except BaseException:
+            # Don't leak the named segment: the next reload of this page
+            # would collide on the name with FileExistsError.
+            self._shm_segments.pop(page_id, None)
+            del buf
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pcsan: disable=PC005
+                pass  # never materialised
+            shm.close()
+            raise
+        page = Page(page_id, block, set_key=set_key)
+        page.shm = shm
+        return page
+
+    def _discard_fresh(self, page):
+        """Undo a just-reconstituted page whose install step failed.
+
+        Without this, a ``_make_room`` raise between segment creation
+        and installation would leak the named segment — and the *next*
+        reload of the same page would die on FileExistsError.
+        """
+        if page is not None and page.shm is not None:
+            self._drop_block(page)
+
+    def _sweep_graveyard(self):
+        """Retire graveyard segments whose exported views have died.
+
+        Each unclosed segment holds an open file descriptor and a
+        mapping; under eviction churn the graveyard would otherwise
+        grow by hundreds of handles per scan and exhaust the fd limit.
+        """
+        for shm in self._shm_graveyard[:]:
+            try:
+                shm.close()
+            except BufferError:  # pcsan: disable=PC005
+                continue  # still exported somewhere
+            self._shm_graveyard.remove(shm)
+
+    def _drop_block(self, page):
+        """Detach a page's block, releasing its shared-memory segment."""
+        page.block = None
+        shm = page.shm
+        if shm is None:
+            return
+        page.shm = None
+        self._shm_segments.pop(page.page_id, None)
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # A facade somewhere still exports a view over the mapping;
+            # keep the handle and retire it once the view dies.
+            self._shm_graveyard.append(shm)
+        self._sweep_graveyard()
+
+    def shm_export(self, page_id):
+        """``(segment_name, block_size)`` of a shared-memory-resident page.
+
+        Reloads the page first if it was spilled.  Returns None when the
+        pool runs bytearray residency — callers fall back to shipping the
+        page's bytes.  The name stays valid until the page is evicted or
+        freed; sealed pages are never mutated, and POSIX keeps an attached
+        segment's memory alive for readers even across an unlink.
+        """
+        page = self.pin(page_id)
+        try:
+            if page.shm is None:
+                return None
+            return (page.shm.name, page.block.size)
+        finally:
+            self.unpin(page_id)
+
+    def close(self):
+        """Release every shared-memory segment this pool still owns."""
+        for page in self._pages.values():
+            if page.shm is not None:
+                size = page.size
+                self._drop_block(page)
+                self._in_memory_bytes -= size
+        self._sweep_graveyard()
+
     # -- page lifecycle -----------------------------------------------------------
 
     def new_page(self, size=None, set_key=None, policy=None):
@@ -161,11 +340,7 @@ class BufferPool:
         self._make_room(size)
         page_id = self._next_page_id
         self._next_page_id += 1
-        kwargs = {"registry": self.registry, "set_key": set_key,
-                  "metrics": self.metrics}
-        if policy is not None:
-            kwargs["policy"] = policy
-        page = Page.fresh(page_id, size, **kwargs)
+        page = self._fresh_page(page_id, size, set_key, policy)
         page.pin_count = 1
         self._pages[page_id] = page
         self._grow_resident(size)
@@ -179,11 +354,12 @@ class BufferPool:
         # The shipped bytes are a used-prefix; the reconstituted block
         # occupies its full declared size, so budget for that, not for
         # len(data).
-        page = Page.from_bytes(
-            page_id, data, registry=self.registry, set_key=set_key,
-            metrics=self.metrics,
-        )
-        self._make_room(page.size)
+        page = self._reconstitute_page(page_id, data, set_key)
+        try:
+            self._make_room(page.size)
+        except BaseException:
+            self._discard_fresh(page)
+            raise
         page.pin_count = 1
         self._pages[page_id] = page
         self._grow_resident(page.size)
@@ -239,6 +415,7 @@ class BufferPool:
         self._lru.pop(page_id, None)
         if page.in_memory:
             self._in_memory_bytes -= page.size
+            self._drop_block(page)
         self._spill_checksums.pop(page_id, None)
         path = self._spilled.pop(page_id, None)
         if path is not None and os.path.exists(path):
@@ -268,7 +445,7 @@ class BufferPool:
             self._c_spills.inc()
             page.dirty = False
         self._in_memory_bytes -= page.size
-        page.block = None
+        self._drop_block(page)
 
     def _reload(self, page):
         path = self._spilled.get(page.page_id)
@@ -313,12 +490,14 @@ class BufferPool:
         # Spill files hold a block's used-prefix, which can be far
         # smaller than the block it reconstitutes into; budget the real
         # in-memory footprint, not the file size.
-        reloaded = Page.from_bytes(
-            page.page_id, data, registry=self.registry,
-            set_key=page.set_key, metrics=self.metrics,
-        )
-        self._make_room(reloaded.size)
+        reloaded = self._reconstitute_page(page.page_id, data, page.set_key)
+        try:
+            self._make_room(reloaded.size)
+        except BaseException:
+            self._discard_fresh(reloaded)
+            raise
         page.block = reloaded.block
+        page.shm = reloaded.shm
         self._grow_resident(reloaded.size)
         self._c_reloads.inc()
 

@@ -20,7 +20,7 @@ class Page:
     """One buffer-pool page wrapping an allocation block."""
 
     __slots__ = ("page_id", "block", "pin_count", "dirty", "set_key",
-                 "checksum")
+                 "checksum", "shm")
 
     def __init__(self, page_id, block, set_key=None):
         self.page_id = page_id
@@ -31,6 +31,9 @@ class Page:
         self.set_key = set_key
         #: CRC32 stamped when the page was sealed (None while writable).
         self.checksum = None
+        #: the SharedMemory segment backing ``block.buf`` when the owning
+        #: pool runs in ``shm`` residency (None for bytearray residency).
+        self.shm = None
 
     @property
     def size(self):

@@ -241,15 +241,15 @@ class ReplicationManager:
             assignments[uid] = live[0][0]
         return assignments
 
-    def scan_objects(self, database, name, worker_id=None, only_uids=None):
-        """Yield every object of a set, page by page, via live replicas.
+    def scan_page_copies(self, database, name, worker_id=None,
+                         only_uids=None):
+        """Yield ``(page_set, page_id)`` of every page copy a scan reads.
 
-        ``worker_id`` restricts the scan to the pages *assigned* to that
-        worker (each page is read exactly once cluster-wide by the worker
-        holding its first live replica); ``only_uids`` restricts it to a
-        subset of pages (the orphan re-run path).  Corrupted copies are
-        quarantined and transparently healed from a healthy replica —
-        corrupted bytes are never yielded.
+        The page-granular face of :meth:`scan_objects`: identical page
+        selection and ordering (catalog uid order), identical failover
+        accounting, identical corruption healing.  Used by transports
+        that hand whole pages to a back-end process instead of iterating
+        objects in the front-end.
         """
         meta = self.catalog.set_metadata(database, name)
         for uid in list(meta.pages):
@@ -268,9 +268,21 @@ class ReplicationManager:
                 continue
             if reader != record.primary:
                 self._c_failover_reads.inc()
-            page_set, page_id = self._healthy_copy(
-                database, name, record, reader
-            )
+            yield self._healthy_copy(database, name, record, reader)
+
+    def scan_objects(self, database, name, worker_id=None, only_uids=None):
+        """Yield every object of a set, page by page, via live replicas.
+
+        ``worker_id`` restricts the scan to the pages *assigned* to that
+        worker (each page is read exactly once cluster-wide by the worker
+        holding its first live replica); ``only_uids`` restricts it to a
+        subset of pages (the orphan re-run path).  Corrupted copies are
+        quarantined and transparently healed from a healthy replica —
+        corrupted bytes are never yielded.
+        """
+        for page_set, page_id in self.scan_page_copies(
+            database, name, worker_id=worker_id, only_uids=only_uids
+        ):
             with page_set.pinned_page(page_id) as page:
                 root_offset, _code = page.block.root()
                 if root_offset is None:

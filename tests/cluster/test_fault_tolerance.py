@@ -198,7 +198,10 @@ def test_delayed_transfers_are_accounted_not_slept(tmp_path):
     # 15 simulated seconds of link delay, recorded but never slept.
     assert cluster.network.delay_s_total == pytest.approx(15.0)
     assert injector.counts["transfer_delays"] == 3
-    assert cluster.last_trace.root.duration_s < 5.0
+    if cluster.network.name == "sim":
+        # Wall-clock proof of "never slept"; only deterministic without
+        # real back-end processes (and their spawn time) in the loop.
+        assert cluster.last_trace.root.duration_s < 5.0
 
 
 # -- buffer-pool reload faults --------------------------------------------------------

@@ -1,0 +1,214 @@
+"""Pluggable-transport tests: sim/process parity and shuffle integrity.
+
+The transport layer (DESIGN §11) carries two back-ends behind one
+interface: the deterministic ``SimulatedNetwork`` and the
+``ProcessTransport`` whose workers run user code in real spawned
+processes attached to sealed pages over POSIX shared memory.  These
+tests pin the contracts the split must keep: row shuffles get the same
+checksum/re-send integrity as page transfers, a crashed back-end
+refuses work until it is re-forked, the re-fork counter is a real
+PC004-compliant metric, and an injected crash racing an in-flight
+shuffle produces byte-identical TPC-H results on both transports.
+"""
+
+import pytest
+
+from repro.cluster import (
+    FakeClock,
+    FaultInjector,
+    PCCluster,
+    RetryPolicy,
+    SimulatedNetwork,
+    make_transport,
+)
+from repro.cluster.transport import ProcessTransport, remote_available
+from repro.errors import BackendCrashedError, PageCorruptionError, \
+    WorkerCrashError
+from repro.tpch import TpchSpec, customers_per_supplier_pc, load_pc_customers
+
+from test_fault_tolerance import (
+    expected_sums,
+    fast_policy,
+    load_points,
+    make_cluster,
+    run_aggregation,
+)
+
+
+# -- transport selection --------------------------------------------------------------
+
+
+def test_make_transport_resolves_names_and_passthrough():
+    sim = make_transport("sim")
+    assert isinstance(sim, SimulatedNetwork)
+    assert sim.name == "sim" and sim.page_residency == "mem"
+    proc = make_transport("process")
+    assert isinstance(proc, ProcessTransport)
+    assert proc.name == "process" and proc.page_residency == "shm"
+    assert make_transport(sim) is sim  # instances pass through untouched
+    with pytest.raises(ValueError, match="unknown transport"):
+        make_transport("carrier-pigeon")
+    proc.close()
+
+
+def test_cluster_exposes_selected_transport(tmp_path):
+    cluster = make_cluster(tmp_path, "c")
+    assert cluster.transport is cluster.network
+    assert cluster.stats()["network"]["transport"] == cluster.transport.name
+
+
+# -- satellite: row-shuffle integrity (seed regression) -------------------------------
+
+
+def test_corrupted_row_shuffle_is_detected_and_resent(tmp_path):
+    # Seed behavior under test: ship_rows delivered a ``corrupt`` verdict
+    # unchanged.  Now the batch is checksummed, the corruption detected
+    # on receipt, and the batch re-sent within the transfer budget.
+    injector = FaultInjector().corrupt_transfer(times=1)
+    cluster = make_cluster(tmp_path, "c", injector=injector)
+    rows = [(1, 2.0), (2, 3.0), (3, 5.0)]
+    shipped = cluster.network.ship_rows("worker-0", "worker-1", rows)
+    assert shipped == rows  # the receiver never sees the corrupt batch
+    assert cluster.network.transfers_corrupted == 1
+    assert cluster.network.transfer_retries == 1
+
+
+def test_corrupted_row_shuffle_without_budget_raises(tmp_path):
+    injector = FaultInjector().corrupt_transfer(times=1)
+    cluster = make_cluster(
+        tmp_path, "c", injector=injector, policy=RetryPolicy.disabled()
+    )
+    with pytest.raises(PageCorruptionError, match="re-send budget"):
+        cluster.network.ship_rows("worker-0", "worker-1", [(1, 1.0)])
+    assert cluster.network.transfers_corrupted == 1
+    assert cluster.network.transfer_retries == 0
+
+
+def test_row_shuffle_checksum_skipped_without_injector(tmp_path):
+    cluster = make_cluster(tmp_path, "c")  # no fault injector
+    rows = [(7, 11.0)]
+    assert cluster.network.ship_rows("worker-0", "worker-1", rows) is rows
+
+
+# -- satellite: crashed back-end rejects dispatch -------------------------------------
+
+
+def test_crashed_backend_rejects_dispatch_until_reforked(tmp_path):
+    cluster = make_cluster(tmp_path, "c")
+    worker = cluster.workers[0]
+
+    def boom():
+        raise RuntimeError("user code exploded")
+
+    with pytest.raises(WorkerCrashError):
+        worker.dispatch(boom)  # the crash re-forks via dispatch...
+    assert worker.refork_count == 1
+
+    worker.backend.crashed = True  # ...but a dead back-end, un-reforked:
+    before = worker.refork_count
+    with pytest.raises(BackendCrashedError, match="re-fork"):
+        worker.dispatch(lambda: 1)
+    assert worker.refork_count == before  # rejection is not a crash
+
+    worker.refork_backend()
+    assert worker.dispatch(lambda: 41 + 1) == 42
+    assert worker.refork_count == before + 1
+
+
+def test_run_user_code_on_crashed_backend_raises_backend_crashed(tmp_path):
+    cluster = make_cluster(tmp_path, "c")
+    backend = cluster.workers[0].backend
+
+    def boom():
+        raise ValueError("nope")
+
+    with pytest.raises(WorkerCrashError):
+        backend.run_user_code(boom)
+    assert backend.crashed
+    with pytest.raises(BackendCrashedError, match="worker-0"):
+        backend.run_user_code(lambda: 1)
+
+
+# -- satellite: re-fork counter is a real metric --------------------------------------
+
+
+def test_refork_count_is_pc004_counter_with_trace_mirror(tmp_path):
+    clock = FakeClock()
+    injector = FaultInjector().crash_backend("worker-1", times=1)
+    cluster = make_cluster(
+        tmp_path, "c", injector=injector, policy=fast_policy(clock)
+    )
+    load_points(cluster)
+    assert run_aggregation(cluster) == expected_sums()
+    snapshot = cluster.metrics()
+    assert snapshot.value("pc_worker_reforks_total") == 1
+    assert snapshot.value("pc_worker_reforks_total", worker="worker-1") == 1
+    assert snapshot.value("pc_worker_reforks_total", worker="worker-0") == 0
+    # the same increment feeds the job trace
+    assert cluster.last_trace.totals()["faults.reforks"] == 1
+    assert "pc_worker_reforks_total" in snapshot.to_prometheus()
+
+
+# -- satellite: re-fork racing an in-flight shuffle -----------------------------------
+
+TPCH_SPEC = TpchSpec(n_customers=30, n_parts=40, n_suppliers=6, seed=11)
+
+
+def _tpch_with_midshuffle_crash(tmp_path, subdir, transport, injector=None):
+    root = tmp_path / subdir
+    root.mkdir(exist_ok=True)
+    cluster = PCCluster(
+        n_workers=3, page_size=1 << 14, spill_root=str(root),
+        fault_injector=injector,
+        retry_policy=fast_policy(FakeClock()) if injector else None,
+        transport=transport,
+    )
+    load_pc_customers(cluster, TPCH_SPEC, replication=2)
+    result, total = customers_per_supplier_pc(cluster)
+    return cluster, result, total
+
+
+@pytest.mark.parametrize("transport", ["sim", "process"])
+def test_refork_racing_inflight_shuffle_is_byte_identical(
+    tmp_path, transport
+):
+    # Baseline: the same TPC-H job with no faults, on the simulator.
+    _, baseline, baseline_total = _tpch_with_midshuffle_crash(
+        tmp_path, "clean-" + transport, "sim"
+    )
+    # Crash worker-1's back-end during the pre-aggregation pipeline that
+    # feeds the shuffle: with the process transport its peers' tasks are
+    # already submitted when the loss is detected, so the re-fork +
+    # retry races real in-flight work.
+    injector = FaultInjector().crash_backend(
+        "worker-1", stage_kind="PipelineJobStage", times=1
+    )
+    cluster, result, total = _tpch_with_midshuffle_crash(
+        tmp_path, "faulted-" + transport, transport, injector
+    )
+    assert injector.counts["backend_crashes"] == 1
+    assert sum(w.refork_count for w in cluster.workers) == 1
+    assert total == baseline_total > 0
+    assert result == baseline
+
+
+@pytest.mark.skipif(
+    not remote_available(), reason="cloudpickle unavailable"
+)
+def test_process_transport_runs_real_child_processes(tmp_path):
+    import os
+
+    root = tmp_path / "proc"
+    root.mkdir()
+    cluster = PCCluster(
+        n_workers=2, page_size=1 << 14, spill_root=str(root),
+        transport="process",
+    )
+    load_points(cluster, n=120)
+    assert run_aggregation(cluster) == expected_sums(n=120)
+    pids = {
+        worker.backend.child_pid for worker in cluster.workers
+    } - {None}
+    assert pids, "no task ran in a child process"
+    assert os.getpid() not in pids
+    cluster.close()

@@ -176,9 +176,9 @@ def test_network_stats_counter_keys_match_trace_mirror_names(cluster):
     derived = net.metrics.stats_view("net.")
     stats = net.stats()
     # delay_events/delay_ms surface in traces only; stats() additionally
-    # reports the structured by_link breakdown.
+    # reports the structured by_link breakdown and the transport name.
     assert set(derived) - set(stats) == {"delay_events", "delay_ms"}
-    assert set(stats) - set(derived) == {"by_link"}
+    assert set(stats) - set(derived) == {"by_link", "transport"}
     for key in set(derived) & set(stats):
         assert derived[key] == stats[key]
 
