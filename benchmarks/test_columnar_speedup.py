@@ -1,0 +1,167 @@
+"""Columnar vs object throughput on the two hot-loop workloads.
+
+The columnar layout exists for exactly two access patterns the paper's
+tools hammer: the k-means assignment step (distance argmin over every
+point) and TPC-H style lineitem scans (predicate + arithmetic + grouped
+sum).  This bench runs both with the identical TCAP program on the
+object path (``columnar=False``) and the kernel path, per batch size and
+per transport, and persists ``BENCH_columnar.json`` in the repository
+root.  The acceptance floor is a 5x rows/sec speedup on the simulated
+transport.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import PCCluster
+from repro.cluster.transport import remote_available
+from repro.core import ObjectReader, Writer
+from repro.ml.kmeans_columnar import AssignedSum, load_columnar_points
+from repro.tpch.lineitem import load_lineitems, q6_revenue, reference_q6
+
+from bench_utils import render_table, report, timed
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_columnar.json"
+)
+
+N_LINEITEMS = 24_000
+N_POINTS = 8_000
+DIMS = 4
+K = 8
+BATCH_SIZES = (1024, 4096, 16384)
+MIN_SIM_SPEEDUP = 5.0
+
+
+def _make_cluster(tmp_path, tag, transport, batch_size):
+    root = tmp_path / tag
+    root.mkdir(parents=True, exist_ok=True)
+    # Explicit transport: the sim leg must stay simulated even when the
+    # suite as a whole runs under PC_TRANSPORT=process.
+    return PCCluster(
+        n_workers=3, page_size=1 << 14, batch_size=batch_size,
+        spill_root=str(root), transport=transport,
+    )
+
+
+def _measure_q6(cluster):
+    columns = load_lineitems(cluster, N_LINEITEMS, seed=5)
+    expected = reference_q6(columns)
+    q6_revenue(cluster, columnar=True)  # warm caches / fork back-ends
+    rates = {}
+    for label, columnar in (("object", False), ("columnar", True)):
+        elapsed, revenue = timed(q6_revenue, cluster, columnar=columnar)
+        assert revenue == expected
+        rates[label] = N_LINEITEMS / elapsed
+    return rates
+
+
+def _assign_once(cluster, centers, columnar):
+    agg = AssignedSum(centers, dim=None).set_input(
+        ObjectReader("ml", "points_col")
+    )
+    if ("ml", "assign_tmp") in cluster.storage_manager:
+        cluster.clear_set("ml", "assign_tmp")
+    writer = Writer("ml", "assign_tmp").set_input(agg)
+    cluster.execute_computations(writer, columnar=columnar)
+    return cluster.read("ml", "assign_tmp", as_pairs=True, comp=agg)
+
+
+def _measure_kmeans(cluster):
+    rng = np.random.default_rng(13)
+    points = rng.integers(-64, 64, size=(N_POINTS, DIMS)) / 8.0
+    load_columnar_points(cluster, "ml", "points_col", points)
+    centers = points[rng.choice(N_POINTS, size=K, replace=False)]
+    expected = _assign_once(cluster, centers, columnar=True)  # warm-up
+    assert sum(expected.values()) == N_POINTS
+    rates = {}
+    for label, columnar in (("object", False), ("columnar", True)):
+        elapsed, counts = timed(
+            _assign_once, cluster, centers, columnar
+        )
+        assert counts == expected
+        rates[label] = N_POINTS / elapsed
+    return rates
+
+
+_WORKLOADS = {"q6_scan": _measure_q6, "kmeans_assign": _measure_kmeans}
+
+
+def _run_leg(tmp_path, transport, batch_size):
+    results = []
+    for workload, measure in _WORKLOADS.items():
+        cluster = _make_cluster(
+            tmp_path, "%s-%s-%d" % (transport, workload, batch_size),
+            transport, batch_size,
+        )
+        try:
+            rates = measure(cluster)
+        finally:
+            cluster.close()
+        results.append({
+            "workload": workload,
+            "transport": transport,
+            "batch_size": batch_size,
+            "object_rows_per_s": round(rates["object"], 1),
+            "columnar_rows_per_s": round(rates["columnar"], 1),
+            "speedup": round(rates["columnar"] / rates["object"], 2),
+        })
+    return results
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_columnar_speedup_writes_bench_json(tmp_path, benchmark):
+    rows = []
+    for batch_size in BATCH_SIZES:
+        rows.extend(_run_leg(tmp_path, "sim", batch_size))
+    if remote_available():
+        # One process-transport point: the kernels run inside spawned
+        # back-ends attached to the same pages over shared memory.
+        rows.extend(_run_leg(tmp_path, "process", BATCH_SIZES[1]))
+
+    payload = {
+        "benchmark": "columnar_speedup",
+        "workload": {
+            "n_lineitems": N_LINEITEMS,
+            "n_points": N_POINTS,
+            "dims": DIMS,
+            "k": K,
+            "batch_sizes": list(BATCH_SIZES),
+            "min_sim_speedup": MIN_SIM_SPEEDUP,
+        },
+        "results": rows,
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    report("columnar_speedup", render_table(
+        "Columnar vs object rows/sec (%d lineitems, %d points)"
+        % (N_LINEITEMS, N_POINTS),
+        ["workload", "transport", "batch", "object rows/s",
+         "columnar rows/s", "speedup"],
+        [
+            [r["workload"], r["transport"], str(r["batch_size"]),
+             "{:,.0f}".format(r["object_rows_per_s"]),
+             "{:,.0f}".format(r["columnar_rows_per_s"]),
+             "%.1fx" % r["speedup"]]
+            for r in rows
+        ],
+    ))
+
+    # Acceptance floor: on the simulated transport each hot loop clears
+    # 5x at its best batch size.
+    for workload in _WORKLOADS:
+        best = max(
+            r["speedup"] for r in rows
+            if r["workload"] == workload and r["transport"] == "sim"
+        )
+        assert best >= MIN_SIM_SPEEDUP, (workload, best)
+
+    # One representative operation for pytest-benchmark stats.
+    benchmark(lambda: _run_leg(tmp_path, "sim", BATCH_SIZES[1]))

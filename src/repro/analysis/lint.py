@@ -1,4 +1,4 @@
-"""AST lint rules for PC-specific invariants (PC001–PC005).
+"""AST lint rules for PC-specific invariants (PC001–PC006).
 
 ruff and friends check Python; these rules check *PlinyCompute*.  Each
 rule encodes one discipline the simulated object model or the cluster
@@ -21,6 +21,11 @@ PC005     Exception-swallowing ``except`` in ``repro/cluster/*`` hot
           paths (body is only ``pass``/``continue``/``break``/bare
           ``return``) — silent failures in the scheduler/network layer
           masquerade as slow or wrong answers.
+PC006     Row-path handle access (``.deref()`` / ``make_object*`` /
+          ``.facade()``) inside a columnar kernel scope — the kernel
+          library and any ``lambda_from_native(kernel=...)`` body must
+          stay whole-batch array code; a per-row deref there silently
+          serializes the hot loop it exists to vectorize.
 ========  ==============================================================
 
 A finding on line *N* is silenced by a trailing ``# pcsan:
@@ -363,6 +368,69 @@ def check_swallowed_exception(tree, path, source):
                 "pass/continue/break/return); count it, log it, or "
                 "let it propagate" % named,
                 path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# -- PC006: row-path access inside columnar kernels ---------------------------
+
+_ROW_PATH_CALLS = {"deref", "make_object", "make_object_on", "facade"}
+
+
+def _kernel_scopes(tree, path):
+    """AST scopes that must stay whole-batch array code.
+
+    The columnar kernel library (``repro/engine/kernels.py``) counts
+    wholesale; elsewhere, every ``kernel=`` argument of a
+    ``lambda_from_native`` call counts — inline lambdas directly, named
+    functions via their module-level (or nested) definition.
+    """
+    scopes = []
+    if os.path.basename(path) == "kernels.py" \
+            and "engine" in _path_parts(path):
+        scopes.append(tree)
+        return scopes
+    defs = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) \
+                or _call_name(node) != "lambda_from_native":
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "kernel":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Lambda):
+                scopes.append(value)
+            elif isinstance(value, ast.Name) and value.id in defs:
+                scopes.append(defs[value.id])
+    return scopes
+
+
+@rule("PC006", "row-path-in-columnar-kernel")
+def check_row_path_in_kernel(tree, path, source):
+    """Row-path handle deref inside a columnar kernel scope."""
+    findings = []
+    seen = set()
+    for scope in _kernel_scopes(tree, path):
+        for sub in ast.walk(scope):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = _call_name(sub)
+            if name not in _ROW_PATH_CALLS:
+                continue
+            key = (sub.lineno, sub.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "PC006",
+                "row-path access %s() inside a columnar kernel; kernels "
+                "run whole-batch over array views, and a per-row deref "
+                "serializes the loop they vectorize" % name,
+                path, sub.lineno, sub.col_offset,
             ))
     return findings
 

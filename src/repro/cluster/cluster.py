@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import tempfile
 import time
+import warnings
 
 from repro.analysis import sanitizer as pcsan
 from repro.catalog import CatalogJournal, CatalogManager
@@ -50,12 +51,14 @@ from repro.obs import (
     Tracer,
 )
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
+from repro.memory.columnar import ColumnarPage
 from repro.memory.handle import Handle
 from repro.memory.objects import make_object_on
+from repro.schema import Schema
 from repro.storage import DistributedStorageManager, ReplicationManager
 from repro.storage.page import DEFAULT_PAGE_SIZE
 from repro.tcap.compiler import compile_computations
-from repro.tcap.optimizer import optimize
+from repro.tcap.optimizer import mark_columnar, optimize
 from repro.cluster.faults import RetryPolicy
 from repro.cluster.transport import make_transport
 from repro.cluster.scheduler import (
@@ -217,21 +220,78 @@ class PCCluster:
     def create_database(self, name):
         self.storage_manager.create_database(name)
 
-    def create_set(self, database, name, cls=None, page_size=None,
-                   replication=1):
-        """Create a set partitioned over all workers.
+    def create_set(self, database, name, cls=None, *, page_size=None,
+                   replication=1, layout=None, schema=None, **legacy):
+        """Create a set partitioned over all workers — the one DDL surface.
 
         ``replication=k`` keeps ``k`` synchronous copies of every page on
         ring-chosen workers: reads fail over to any live replica, and a
         node loss triggers re-replication instead of data loss.
+
+        ``layout`` picks the physical page format: ``"row"`` (the default;
+        object pages holding a root vector of handles) or ``"columnar"``
+        (struct-of-arrays pages whose fixed-stride columns the engine can
+        run whole-page numpy kernels over).  Columnar sets need a
+        :class:`repro.schema.Schema`, given either explicitly via
+        ``schema=`` (a Schema or a ``[("x", f64), ...]`` field list, which
+        implies ``layout="columnar"``) or derived from ``cls`` when all of
+        its fields are fixed-stride primitives.  Setting ``PC_LAYOUT=
+        columnar`` in the environment makes derivable sets columnar by
+        default without touching call sites.
         """
+        if "type_name" in legacy:
+            # One release of compatibility for the drifted storage-layer
+            # keyword; ``cls`` (or a pre-registered name) is the surface.
+            warnings.warn(
+                "create_set(type_name=...) is deprecated; pass the class "
+                "via cls= (or its registered name) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if cls is None:
+                cls = legacy.pop("type_name")
+            else:
+                legacy.pop("type_name")
+        if legacy:
+            raise TypeError(
+                "create_set() got unexpected keyword argument(s): %s"
+                % ", ".join(sorted(legacy))
+            )
         type_name = None
-        if cls is not None:
+        if isinstance(cls, str):
+            type_name = cls
+            cls = None
+        elif cls is not None:
             self.register_type(cls)
             type_name = getattr(cls, "__name__", getattr(cls, "name", None))
+        if schema is not None and not isinstance(schema, Schema):
+            schema = Schema(schema)
+        if layout is None:
+            if schema is not None:
+                layout = "columnar"
+            elif os.environ.get("PC_LAYOUT") == "columnar" and cls is not None:
+                # Default-on leg: derivable classes go columnar, the rest
+                # keep the row layout (no schema, no array kernels).
+                schema = Schema.from_class(cls)
+                layout = "columnar" if schema is not None else "row"
+            else:
+                layout = "row"
+        elif layout == "columnar" and schema is None:
+            if cls is not None:
+                schema = Schema.from_class(cls)
+            if schema is None:
+                raise CatalogError(
+                    "columnar layout for %s.%s needs a schema= (or a cls "
+                    "whose fields are all fixed-stride primitives)"
+                    % (database, name)
+                )
+        elif layout == "row" and schema is not None:
+            raise CatalogError(
+                "layout='row' does not take a schema; drop schema= or ask "
+                "for layout='columnar'"
+            )
         return self.storage_manager.create_set(
             database, name, type_name, page_size=page_size,
-            replication=replication,
+            replication=replication, layout=layout, schema=schema,
         )
 
     def ensure_set(self, database, name):
@@ -307,7 +367,8 @@ class PCCluster:
                 )
                 peer.storage.create_set(
                     key[0], key[1], type_name=page_set.type_name,
-                    page_size=page_set.page_size,
+                    page_size=page_set.page_size, layout=page_set.layout,
+                    schema=page_set.schema,
                 )
                 peer.storage.get_set(*key).adopt_page_bytes(shipped)
             moved += len(page_set.page_ids)
@@ -386,21 +447,57 @@ class PCCluster:
         a clean exit flushes the final partial page; an exception inside
         the block *discards* the open page instead of shipping a
         half-built one.
+
+        For a ``layout="columnar"`` set the returned loader builds
+        struct-of-arrays pages instead: ``append`` takes the schema
+        columns as keywords and ``append_columns`` loads whole arrays at
+        once.
         """
+        schema = self._columnar_layout_of(database, set_name)
+        if schema is not None:
+            return ColumnarClusterLoader(
+                self, database, set_name, page_size or self.page_size,
+                schema,
+            )
         return ClusterLoader(self, database, set_name,
                              page_size or self.page_size)
+
+    def _columnar_layout_of(self, database, set_name):
+        """The set's Schema when its catalog layout is columnar, else None.
+
+        This is both the loader dispatch and the layout oracle handed to
+        :func:`repro.tcap.optimizer.mark_columnar` when planning a job.
+        """
+        try:
+            meta = self.catalog.set_metadata(database, set_name)
+        except CatalogError:  # pcsan: disable=PC005
+            # Not-yet-created sets (e.g. a job's output set) simply are
+            # not columnar; creation-time errors surface on their own.
+            return None
+        if meta.layout != "columnar":
+            return None
+        return meta.schema
 
     # -- execution ----------------------------------------------------------------------
 
     def execute_computations(self, sinks, optimized=True,
-                             build_side_overrides=None, job_name="job"):
+                             build_side_overrides=None, job_name="job",
+                             columnar=None):
         """Compile, optimize, plan, and run a computation graph.
 
         Returns the scheduler's job log (the Figure 4 trace); the full
         span tree with counters is available as :attr:`last_trace`
         afterwards (even when a stage raised — partial traces are often
         the most interesting ones).
+
+        ``columnar`` controls whether eligible operator subgraphs over
+        columnar-layout scans are lowered onto whole-page array kernels
+        (:func:`repro.tcap.optimizer.mark_columnar`).  The default (None)
+        is on unless ``PC_COLUMNAR=0`` is set; pass False to force every
+        operator down the object path (the parity tests' baseline).
         """
+        if columnar is None:
+            columnar = os.environ.get("PC_COLUMNAR", "1") != "0"
         started = time.perf_counter()
         # PCSan pin-leak detection: pins held before the job are fine
         # (client handles, prior jobs); anything above that baseline
@@ -413,6 +510,8 @@ class PCCluster:
                 program = compile_computations(sinks)
                 if optimized:
                     optimize(program)
+                if columnar:
+                    mark_columnar(program, self._columnar_layout_of)
             with self.tracer.span("plan", kind="phase"):
                 overrides = self._choose_build_sides(program)
                 overrides.update(build_side_overrides or {})
@@ -763,3 +862,122 @@ class ClusterLoader:
             self.objects_discarded += len(self._root)
         self._block = None
         self._root = None
+
+
+class ColumnarClusterLoader:
+    """Builds struct-of-arrays pages client-side for a columnar set.
+
+    Rows are buffered per column and laid onto a
+    :class:`~repro.memory.columnar.ColumnarPage` whenever a full page's
+    worth (``capacity``) accumulates; the sealed page bytes ship through
+    the same replication path as row pages.  Same context-manager
+    contract as :class:`ClusterLoader`: clean exit flushes, an exception
+    discards the buffered remainder.
+    """
+
+    def __init__(self, cluster, database, set_name, page_size, schema):
+        self.cluster = cluster
+        self.database = database
+        self.set_name = set_name
+        self.page_size = page_size
+        self.schema = schema
+        self.capacity = ColumnarPage.capacity_for(schema, page_size)
+        if self.capacity < 1:
+            raise StorageError(
+                "no row of %r fits on a %d-byte page"
+                % (schema, page_size)
+            )
+        self._names = schema.names()
+        self._buffers = {name: [] for name in self._names}
+        self._buffered = 0
+        self.pages_shipped = 0
+        self.objects_loaded = 0
+        self.objects_discarded = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.flush()
+        else:
+            self.discard()
+        return False
+
+    def append(self, type_or_class=None, init=None, **fields):
+        """Buffer one row; keywords must cover every schema column.
+
+        ``type_or_class`` is accepted (and ignored) so row-loader call
+        sites can switch a set to columnar without edits — the schema
+        already fixes the row type.
+        """
+        try:
+            for name in self._names:
+                self._buffers[name].append(fields[name])
+        except KeyError:
+            raise StorageError(
+                "columnar append needs every schema column; missing %r"
+                % (sorted(set(self._names) - set(fields)),)
+            ) from None
+        self._buffered += 1
+        self.objects_loaded += 1
+        if self._buffered >= self.capacity:
+            self._ship_page()
+
+    def append_columns(self, **columns):
+        """Buffer many rows at once from equal-length per-column arrays."""
+        lengths = {len(columns[name]) for name in self._names
+                   if name in columns}
+        if set(columns) != set(self._names) or len(lengths) != 1:
+            raise StorageError(
+                "append_columns needs equal-length values for exactly the "
+                "schema columns %r" % (self._names,)
+            )
+        count = lengths.pop()
+        for name in self._names:
+            values = columns[name]
+            buffer = self._buffers[name]
+            buffer.extend(
+                values.tolist() if hasattr(values, "tolist") else values
+            )
+        self._buffered += count
+        self.objects_loaded += count
+        while self._buffered >= self.capacity:
+            self._ship_page()
+
+    def append_built(self, build):
+        raise StorageError(
+            "columnar sets store fixed-stride columns, not built objects; "
+            "use append(**fields) / append_columns(**arrays)"
+        )
+
+    def _ship_page(self):
+        if not self._buffered:
+            return
+        take = min(self._buffered, self.capacity)
+        columns = {}
+        for name in self._names:
+            buffer = self._buffers[name]
+            columns[name] = buffer[:take]
+            self._buffers[name] = buffer[take:]
+        page = ColumnarPage.build(
+            self.schema, columns, self.page_size,
+            registry=self.cluster.catalog.registry,
+        )
+        self.cluster.replication.store_page(
+            self.database, self.set_name, page.block.to_bytes(),
+            len(page), source="client",
+        )
+        self._buffered -= take
+        self.pages_shipped += 1
+
+    def flush(self):
+        """Ship everything still buffered (the final partial page last)."""
+        while self._buffered:
+            self._ship_page()
+
+    def discard(self):
+        """Drop the buffered, not-yet-shipped rows."""
+        self.objects_discarded += self._buffered
+        self._buffers = {name: [] for name in self._names}
+        self._buffered = 0

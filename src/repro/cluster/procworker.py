@@ -29,6 +29,7 @@ import traceback
 
 from multiprocessing import shared_memory
 
+from repro.engine import kernels
 from repro.engine.pipeline import (
     AggregateSink,
     HashBuildSink,
@@ -39,6 +40,7 @@ from repro.engine.pipeline import (
 from repro.engine.vectors import batches_of
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import AnyObject, VectorType
+from repro.memory.columnar import ColumnarPage
 
 _ROOT_VECTOR = VectorType(AnyObject)
 
@@ -116,8 +118,17 @@ def _detach(attachments):
 
 
 def _page_objects(blocks):
-    """Yield every root-vector object of the attached page blocks."""
+    """Yield every object (or columnar row batch) of the attached blocks.
+
+    Columnar pages yield one :class:`ColumnarRows` per page — downstream
+    ``object_batches`` slices or expands it depending on whether the scan
+    was columnar-lowered; row pages yield their root-vector handles.
+    """
     for block in blocks:
+        colpage = ColumnarPage.attach(block)
+        if colpage is not None:
+            yield colpage.rows()
+            continue
         offset, _code = block.root()
         if offset is None:
             continue
@@ -137,8 +148,10 @@ def _source_batches(source, engine, registry, attachments):
             view = memoryview(shm.buf)[:size]  # pcsan: disable=PC002
             attachments.append((shm, view))
             blocks.append(AllocationBlock.from_buffer(view, registry=registry))
+        columnar = len(source) > 3 and bool(source[3])
         return object_batches(
-            _page_objects(blocks), source[2], engine.batch_size
+            _page_objects(blocks), source[2], engine.batch_size,
+            columnar=columnar,
         )
     return batches_of(source[1], engine.batch_size)
 
@@ -179,7 +192,11 @@ def _run_collect(engine, stages, batches, tracer):
         if columns is None:
             columns = {name: [] for name in current.names()}
         for name in columns:
-            columns[name].extend(current.column(name))
+            # Array-backed columns must leave as plain Python values
+            # (picklable, and free of page-memory references).
+            columns[name].extend(
+                kernels.reify_column(current.column(name))
+            )
     return columns
 
 

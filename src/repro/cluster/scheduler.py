@@ -43,6 +43,7 @@ from __future__ import annotations
 import contextlib
 
 from repro.core.computation import AggregateComp
+from repro.engine import kernels
 from repro.engine.physical import (
     SINK_AGGREGATE,
     SINK_HASH_BUILD,
@@ -142,6 +143,9 @@ class DistributedScheduler:
         if engine is None:
             def scan_reader(scan_stmt, _worker=worker):
                 repl = self.cluster.replication
+                # Columnar-marked scans get whole-page array batches; the
+                # engine falls back per page if a row page sneaks in.
+                columnar = scan_stmt.info.get("columnar") == "1"
                 if repl.has_page_map(
                     scan_stmt.database, scan_stmt.set_name
                 ):
@@ -151,11 +155,12 @@ class DistributedScheduler:
                     return repl.scan_objects(
                         scan_stmt.database, scan_stmt.set_name,
                         worker_id=_worker.worker_id,
+                        columnar_pages=columnar,
                     )
                 page_set = _worker.storage.get_set(
                     scan_stmt.database, scan_stmt.set_name
                 )
-                return page_set.scan_objects()
+                return page_set.scan_objects(columnar_pages=columnar)
 
             engine = PipelineEngine(
                 self.program, self.plan, scan_reader,
@@ -620,7 +625,10 @@ class DistributedScheduler:
                 # both transports.
                 cleanup()
                 raise
-            return ("pages", refs, scan.column), cleanup
+            # The 4th element tells the remote worker whether this scan
+            # was columnar-lowered (attach pages as array batches).
+            columnar = scan.info.get("columnar") == "1"
+            return ("pages", refs, scan.column, columnar), cleanup
 
         return build_scan
 
@@ -774,7 +782,11 @@ class DistributedScheduler:
                             name: [] for name in current.names()
                         }
                     for name in acc["columns"]:
-                        acc["columns"][name].extend(current.column(name))
+                        # A columnar-lowered segment may end array-backed;
+                        # the accumulator holds plain Python values.
+                        acc["columns"][name].extend(
+                            kernels.reify_column(current.column(name))
+                        )
 
             def install(res):
                 acc["columns"] = res
@@ -1412,8 +1424,15 @@ class ClusterOutputSink(Sink):
     def consume(self, batch):
         writer = self._ensure_writer()
         key = (self.statement.database, self.statement.set_name)
-        for value in batch.column(self.statement.column):
-            if hasattr(value, "pc_block") or hasattr(value, "deref"):
+        for value in kernels.reify_column(batch.column(self.statement.column)):
+            if hasattr(value, "pc_page"):
+                # A columnar scan's row view is page-backed but not a
+                # handle: store its detached form as a Python output
+                # (columnar *output* sets are not written in v1).
+                self.cluster.python_outputs.setdefault(key, []).append(
+                    value.detach()
+                )
+            elif hasattr(value, "pc_block") or hasattr(value, "deref"):
                 writer._root.append(value)
                 self.page_set.object_count += 1
             else:
@@ -1454,7 +1473,9 @@ class MapPageOutputSink(Sink):
         self._objects_mark = page_set.object_count
 
     def consume(self, batch):
-        self.pairs.extend(batch.column(self.statement.column))
+        self.pairs.extend(
+            kernels.reify_column(batch.column(self.statement.column))
+        )
 
     def finish(self):
         if not self.pairs:

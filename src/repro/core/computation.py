@@ -206,6 +206,12 @@ class AggregateComp(Computation):
     key_type = None
     value_type = None
 
+    #: Declarative reduction kind.  ``combine`` stays the executable
+    #: truth; setting ``reduce = "sum"`` *additionally* promises that
+    #: combine is plain addition over fixed-stride values, which lets the
+    #: columnar optimizer lower the aggregation onto grouped array sums.
+    reduce = None
+
     def get_key_projection(self, arg):
         raise NotImplementedError
 

@@ -72,13 +72,16 @@ class LambdaTerm:
     """
 
     def __init__(self, kind, children=(), arg_indices=(), info=None,
-                 executor=None):
+                 executor=None, kernel=None):
         self.term_id = next(_term_ids)
         self.kind = kind
         self.children = list(children)
         self.arg_indices = list(arg_indices)
         self.info = dict(info or {})
         self._executor = executor
+        #: optional whole-batch (columnar) implementation of this term;
+        #: see :func:`lambda_from_native`'s ``kernel`` argument.
+        self.kernel = kernel
 
     # -- analysis -----------------------------------------------------------------
 
@@ -265,12 +268,21 @@ def lambda_from_method(arg, method_name, *call_args):
     )
 
 
-def lambda_from_native(args, fn):
+def lambda_from_native(args, fn, kernel=None):
     """``makeLambda``: wrap a native (opaque) host-language function.
 
     ``fn`` receives one dereferenced object per arg.  PC cannot see inside
     it, so terms built this way are not optimizable — the programmer
     trades optimization for expressiveness, exactly as in the paper.
+
+    ``kernel`` optionally supplies a whole-batch implementation: a
+    callable taking one column per arg — a numpy array, or a
+    :class:`~repro.memory.columnar.ColumnarRows` batch for object
+    columns — and returning one numpy array of results.  A kernelized
+    term is eligible for columnar lowering; the kernel MUST be pure
+    (no side effects, output a function of the inputs only — the PCSan
+    PC003 discipline) and agree with ``fn`` row-for-row, since the
+    engine freely switches between the two at fallback boundaries.
     """
     if isinstance(args, Arg):
         args = [args]
@@ -285,11 +297,15 @@ def lambda_from_native(args, fn):
                 fn(*(_deref(v) for v in row)) for row in zip(*cols)
             ]
 
+    info = {"type": "nativeLambda"}
+    if kernel is not None:
+        info["kernelized"] = "1"
     return LambdaTerm(
         "nativeLambda",
         arg_indices=indices,
-        info={"type": "nativeLambda"},
+        info=info,
         executor=stage,
+        kernel=kernel,
     )
 
 

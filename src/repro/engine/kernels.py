@@ -1,0 +1,185 @@
+"""Whole-batch numpy kernels for columnar-lowered TCAP stages.
+
+When the optimizer marks a statement ``columnar`` (see
+:mod:`repro.tcap.optimizer.columnar`), the pipeline engine routes it here
+instead of the per-row implementations in
+:mod:`repro.engine.pipeline`.  A kernel executes one stage over the whole
+batch as a single array operation: attribute access becomes a zero-copy
+column view, comparisons/arithmetic become ufunc calls, FILTER becomes a
+boolean mask, and grouped sums become one ``bincount``.
+
+Every kernel is *total over its guard, partial over its inputs*: it
+returns ``None`` whenever the batch does not actually carry array-typed
+columns (e.g. an orphan-page replay feeding per-row objects into a marked
+stage), and the engine falls back to the object path for that stage.  The
+:func:`reify` boundary converts array columns back into plain Python
+values so fallback operators and sinks observe exactly what the object
+path would have produced.
+
+Accumulation order note: grouped float sums use sequential in-input-order
+accumulation (``np.bincount`` / ``np.add.at``) per *batch*, then combine
+batch subtotals.  Relative to the strictly row-at-a-time object path this
+reassociates floating-point addition across batch boundaries; results are
+identical whenever the addends are exactly representable (the parity
+suite uses dyadic rationals for this reason).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.vectors import VectorList
+from repro.memory.columnar import ColumnarRows
+
+_COMPARISON_OPS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_ARITHMETIC_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+def is_array_column(column):
+    """True for column values the kernels can consume whole."""
+    return isinstance(column, (np.ndarray, ColumnarRows))
+
+
+def is_columnar_batch(batch):
+    """True when any column of ``batch`` is array-typed."""
+    return any(is_array_column(batch.column(name)) for name in batch.names())
+
+
+def reify_column(column):
+    """One column's object-path representation (plain Python values).
+
+    Row batches detach: the produced rows keep their schema-named
+    attribute surface but hold copied values, so they are free to
+    outlive the page and to cross a process boundary.
+    """
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    if isinstance(column, ColumnarRows):
+        return [row.detach() for row in column]
+    return column
+
+
+def reify(batch):
+    """The batch with every array column lowered to plain Python values.
+
+    ``ndarray.tolist`` yields Python scalars (not numpy scalars), so a
+    reified batch is indistinguishable from one the object path built.
+    """
+    if not is_columnar_batch(batch):
+        return batch
+    return VectorList({
+        name: reify_column(batch.column(name)) for name in batch.names()
+    })
+
+
+def _as_arrays(columns):
+    """All columns as ndarrays, or None when any is not kernel-ready."""
+    arrays = []
+    for column in columns:
+        if not isinstance(column, np.ndarray):
+            return None
+        arrays.append(column)
+    return arrays
+
+
+def apply_kernel(engine, stage, batch):
+    """Run a columnar-marked APPLY as one array op; None means fall back."""
+    info = stage.info
+    kind = info.get("type")
+    inputs = [batch.column(c) for c in stage.apply_columns]
+    produced = None
+    if kind == "attAccess":
+        rows = inputs[0]
+        if isinstance(rows, ColumnarRows):
+            try:
+                produced = rows.column(info["attName"])
+            except KeyError:
+                produced = None
+    elif kind == "self":
+        if inputs and is_array_column(inputs[0]):
+            produced = inputs[0]
+    elif kind == "constant":
+        produced = np.full(len(batch), info["value"])
+    elif kind in ("comparison", "equalityCheck", "arithmetic"):
+        fn = _COMPARISON_OPS.get(info.get("op")) or _ARITHMETIC_OPS.get(
+            info.get("op")
+        )
+        arrays = _as_arrays(inputs)
+        if fn is not None and arrays is not None and len(arrays) == 2:
+            produced = fn(arrays[0], arrays[1])
+    elif kind == "bool_and":
+        arrays = _as_arrays(inputs)
+        if arrays is not None and len(arrays) == 2:
+            produced = np.logical_and(arrays[0], arrays[1])
+    elif kind == "bool_or":
+        arrays = _as_arrays(inputs)
+        if arrays is not None and len(arrays) == 2:
+            produced = np.logical_or(arrays[0], arrays[1])
+    elif kind == "bool_not":
+        arrays = _as_arrays(inputs)
+        if arrays is not None and len(arrays) == 1:
+            produced = np.logical_not(arrays[0])
+    elif kind == "nativeLambda":
+        kernel = getattr(engine.program, "kernels", {}).get(
+            (stage.computation, stage.stage)
+        )
+        if kernel is not None and all(is_array_column(c) for c in inputs):
+            produced = kernel(*inputs)
+            if not isinstance(produced, np.ndarray) or \
+                    len(produced) != len(batch):
+                produced = None
+    if produced is None:
+        return None
+    out = batch.shallow_copy(stage.copy_columns)
+    return out.with_column(stage.new_column, produced)
+
+
+def filter_kernel(stage, batch):
+    """Run a columnar-marked FILTER as a boolean mask; None → fall back."""
+    mask = batch.column(stage.bool_column)
+    if not isinstance(mask, np.ndarray):
+        return None
+    mask = mask.astype(bool, copy=False)
+    out = {}
+    for name in stage.copy_columns:
+        column = batch.column(name)
+        if isinstance(column, ColumnarRows):
+            out[name] = column.mask(mask)
+        elif isinstance(column, np.ndarray):
+            out[name] = column[mask]
+        else:
+            return None
+    return VectorList(out)
+
+
+def aggregate_sum(groups, keys, values):
+    """Fold one batch of (key, value) pairs into ``groups`` as grouped sums.
+
+    Accumulation is sequential in input order within the batch (bincount
+    for float64 weights, unbuffered ``np.add.at`` otherwise, so integer
+    sums stay exact integers as on the object path).
+    """
+    unique, inverse = np.unique(keys, return_inverse=True)
+    if values.dtype == np.float64:
+        sums = np.bincount(inverse, weights=values, minlength=len(unique))
+    else:
+        sums = np.zeros(len(unique), dtype=np.result_type(values))
+        np.add.at(sums, inverse, values)
+    for key, total in zip(unique.tolist(), sums.tolist()):
+        if key in groups:
+            groups[key] = groups[key] + total
+        else:
+            groups[key] = total

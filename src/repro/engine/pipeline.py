@@ -19,9 +19,13 @@ native lambda allocates directly on the output page — the paper's
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import BlockFullError, ExecutionError
 from repro.obs import Tracer
+from repro.engine import kernels
 from repro.memory.builtins import MapFacade, stable_hash
+from repro.memory.columnar import ColumnarRows
 from repro.memory.handle import Handle
 from repro.memory.objects import use_allocation_block
 from repro.engine.physical import (
@@ -52,7 +56,8 @@ class EngineMetrics:
     """
 
     FIELDS = ("batches", "rows_in", "stage_invocations", "pages_written",
-              "zombie_pages", "pre_aggregated_keys", "probe_matches")
+              "zombie_pages", "pre_aggregated_keys", "probe_matches",
+              "columnar_rows")
 
     def __init__(self):
         object.__setattr__(self, "_counters", None)
@@ -190,6 +195,13 @@ class PipelineEngine:
         return self._apply_stage_inner(stage, batch)
 
     def _apply_stage_inner(self, stage, batch):
+        if stage.info.get("columnar") == "1":
+            result = self._apply_columnar(stage, batch)
+            if result is not None:
+                return result
+        # Fallback boundary: operators past this point run per-row, so any
+        # array columns are lowered back to plain Python values first.
+        batch = kernels.reify(batch)
         if isinstance(stage, ApplyStmt):
             fn = self.program.stage_fn(stage.computation, stage.stage)
             inputs = [batch.column(c) for c in stage.apply_columns]
@@ -221,6 +233,31 @@ class PipelineEngine:
             return self._probe(stage, batch)
         raise ExecutionError("unknown stage %r" % type(stage).__name__)
 
+    def _apply_columnar(self, stage, batch):
+        """Try the whole-batch kernel for a columnar-marked stage.
+
+        Returns None when the batch is not actually array-typed (orphan
+        replays, post-fallback segments) — the caller then takes the
+        per-row path, which is always correct.
+        """
+        if isinstance(stage, ApplyStmt):
+            result = kernels.apply_kernel(self, stage, batch)
+        elif isinstance(stage, FilterStmt):
+            result = kernels.filter_kernel(stage, batch)
+        else:
+            result = None
+        if result is not None:
+            self._note_columnar(
+                _OPERATOR_NAMES.get(type(stage), type(stage).__name__),
+                len(batch),
+            )
+        return result
+
+    def _note_columnar(self, operator, rows):
+        self.metrics.columnar_rows += rows
+        if self.profiler is not None:
+            self.profiler.note_columnar_rows(operator, rows)
+
     def _probe(self, stage, batch):
         table = self.hash_tables.get(stage.output)
         if table is None:
@@ -251,7 +288,8 @@ class PipelineEngine:
         if pipeline.source_kind == SOURCE_SCAN:
             scan = pipeline.source
             yield from object_batches(
-                self.scan_reader(scan), scan.column, self.batch_size
+                self.scan_reader(scan), scan.column, self.batch_size,
+                columnar=scan.info.get("columnar") == "1",
             )
             return
         columns = self.store.get(pipeline.source)
@@ -278,15 +316,33 @@ class PipelineEngine:
         return ListOutputSink(self, output_stmt)
 
 
-def object_batches(objects, column, batch_size):
+def object_batches(objects, column, batch_size, columnar=False):
     """Batch a scanned object stream into single-column vector lists.
 
     Shared by the engine's scan source and the scheduler's orphan-page
     re-runs; stored aggregation Maps are expanded into their pairs either
-    way.
+    way.  A columnar page arrives in the stream as one
+    :class:`~repro.memory.columnar.ColumnarRows` item: with ``columnar``
+    set it is sliced into array batches the kernels consume whole,
+    otherwise it is expanded into per-row views for the object path.
     """
     chunk = []
     for item in objects:
+        if isinstance(item, ColumnarRows):
+            if columnar:
+                if chunk:
+                    yield VectorList({column: chunk})
+                    chunk = []
+                for start in range(0, len(item), batch_size):
+                    yield VectorList(
+                        {column: item.slice(start, start + batch_size)}
+                    )
+            else:
+                chunk.extend(item)
+                while len(chunk) >= batch_size:
+                    yield VectorList({column: chunk[:batch_size]})
+                    chunk = chunk[batch_size:]
+            continue
         expanded = _expand_aggregate_object(item)
         if expanded is None:
             chunk.append(item)
@@ -360,6 +416,7 @@ class HashBuildSink(Sink):
         self.table = {}
 
     def consume(self, batch):
+        batch = kernels.reify(batch)
         cols = [batch.column(c) for c in self.columns]
         for row, hash_value in enumerate(batch.column(self.hash_column)):
             self.table.setdefault(hash_value, []).append(
@@ -389,6 +446,18 @@ class AggregateSink(Sink):
     def consume(self, batch):
         keys = batch.column(self.statement.key_column)
         values = batch.column(self.statement.value_column)
+        if (
+            self.statement.info.get("columnar") == "1"
+            and isinstance(keys, np.ndarray)
+            and isinstance(values, np.ndarray)
+        ):
+            # Declared-sum aggregation over array columns: one grouped
+            # bincount per batch instead of a per-row combine loop.
+            kernels.aggregate_sum(self.groups, keys, values)
+            self.engine._note_columnar("aggregate", len(batch))
+            return
+        keys = kernels.reify_column(keys)
+        values = kernels.reify_column(values)
         combine = self.comp.combine
         groups = self.groups
         for key, value in zip(keys, values):
@@ -433,6 +502,7 @@ class MaterializeSink(Sink):
         self.merge = merge
 
     def consume(self, batch):
+        batch = kernels.reify(batch)
         if self.columns is None:
             self.columns = {name: [] for name in batch.names()}
         for name in self.columns:
@@ -461,7 +531,7 @@ class ListOutputSink(Sink):
     def consume(self, batch):
         key = (self.statement.database, self.statement.set_name)
         self.engine.outputs.setdefault(key, []).extend(
-            batch.column(self.statement.column)
+            kernels.reify_column(batch.column(self.statement.column))
         )
 
 
@@ -486,7 +556,7 @@ class PageOutputSink(Sink):
 
     def consume(self, batch):
         root = self.writer._root
-        for value in batch.column(self.statement.column):
+        for value in kernels.reify_column(batch.column(self.statement.column)):
             # Values produced by user projections are handles or facades
             # already living on the output page (in-place allocation) —
             # appending to the root vector is then pure bookkeeping.  A

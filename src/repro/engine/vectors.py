@@ -6,6 +6,11 @@ count is tuned so a batch's working set stays cache-resident; the default
 matches the paper's guidance of sizing vectors to the L1/L2 cache rather
 than processing one row (Volcano) or one full column (materialization) at
 a time.
+
+Columns are Python lists on the object path and numpy arrays or
+:class:`~repro.memory.columnar.ColumnarRows` batches on the columnar
+path; the vector list itself is agnostic — it only requires that every
+column report the same ``len``.
 """
 
 from __future__ import annotations
@@ -17,34 +22,51 @@ DEFAULT_BATCH_SIZE = 1024
 
 
 class VectorList:
-    """Named, equal-length columns."""
+    """Named, equal-length columns.
 
-    __slots__ = ("columns",)
+    The column dict is private: every mutation goes through
+    :meth:`append_column` (or the copying helpers), which re-validate the
+    equal-length invariant.  ``__len__`` reports the first column's
+    length, so an unchecked write could silently desynchronize it from
+    the rest — the constructor-only validation this replaces allowed
+    exactly that.
+    """
+
+    __slots__ = ("_columns",)
 
     def __init__(self, columns=None):
-        self.columns = dict(columns or {})
-        lengths = {len(col) for col in self.columns.values()}
+        self._columns = dict(columns or {})
+        lengths = {len(col) for col in self._columns.values()}
         if len(lengths) > 1:
             raise ExecutionError(
                 "ragged vector list: column lengths %s" % sorted(lengths)
             )
 
     def __len__(self):
-        for column in self.columns.values():
+        for column in self._columns.values():
             return len(column)
         return 0
 
     def __contains__(self, name):
-        return name in self.columns
+        return name in self._columns
 
     def column(self, name):
         try:
-            return self.columns[name]
+            return self._columns[name]
         except KeyError as missing:
             raise ExecutionError(
                 "vector list has no column %r (has %s)"
-                % (name, sorted(self.columns))
+                % (name, sorted(self._columns))
             ) from missing
+
+    def append_column(self, name, values):
+        """Add (or replace) a column in place, re-validating lengths."""
+        if self._columns and len(values) != len(self):
+            raise ExecutionError(
+                "ragged vector list: column %r has %d rows, expected %d"
+                % (name, len(values), len(self))
+            )
+        self._columns[name] = values
 
     def shallow_copy(self, names):
         """A new vector list sharing the selected column objects.
@@ -55,15 +77,15 @@ class VectorList:
 
     def with_column(self, name, values):
         """This vector list plus one appended column (shared others)."""
-        out = dict(self.columns)
-        out[name] = values
-        return VectorList(out)
+        out = VectorList(self._columns)
+        out.append_column(name, values)
+        return out
 
     def names(self):
-        return list(self.columns)
+        return list(self._columns)
 
     def __repr__(self):
-        return "VectorList(%s x %d rows)" % (sorted(self.columns), len(self))
+        return "VectorList(%s x %d rows)" % (sorted(self._columns), len(self))
 
 
 def batches_of(column_dict, batch_size=DEFAULT_BATCH_SIZE):

@@ -35,6 +35,7 @@ from repro.memory.builtins import (
     VectorType,
     stable_hash,
 )
+from repro.memory.columnar import ColumnarPage, ColumnarRows, RowView
 from repro.memory.handle import Handle
 from repro.memory.layout import BLOCK_HEADER_SIZE, OBJECT_HEADER_SIZE
 from repro.memory.objects import (
@@ -66,6 +67,8 @@ __all__ = [
     "ArrayType",
     "BLOCK_HEADER_SIZE",
     "Bool",
+    "ColumnarPage",
+    "ColumnarRows",
     "FULL_REF_COUNT",
     "Float32",
     "Float64",
@@ -82,6 +85,7 @@ __all__ = [
     "OBJECT_HEADER_SIZE",
     "PCObject",
     "RECYCLING",
+    "RowView",
     "String",
     "TypeRegistry",
     "UInt32",

@@ -1,0 +1,403 @@
+"""Columnar (struct-of-arrays) page layout for fixed-stride types.
+
+A :class:`ColumnarPage` stores a batch of rows column-major inside an
+ordinary :class:`~repro.memory.block.AllocationBlock`: one raw allocation
+per column, plus a *columnar root* object whose payload records the row
+count and each column's name, dtype, and payload offset.  Because the root
+travels in the block's root-handle slot like any other page root, the
+page keeps every zero-cost-movement property of the row layout —
+``to_bytes``/``from_bytes`` shipping, CRC checks, buffer-pool spill, and
+zero-copy :meth:`~repro.memory.block.AllocationBlock.from_buffer`
+attachment from a process-backed worker's shared-memory mapping.
+
+Column data is exposed as ``numpy.frombuffer`` views that alias the page
+bytes — the read side of the paper's ``Eigen::Map`` trick (Section 8.3.1),
+applied to whole sets instead of single matrix objects.  The views are
+marked read-only: sealed pages are immutable.
+
+Two small row-compatible facades bridge back to the object path:
+:class:`ColumnarRows` (a sliceable batch of rows, consumed whole by the
+vectorized kernels in :mod:`repro.engine.kernels`) and :class:`RowView`
+(a per-row facade with schema-named attributes, used wherever an operator
+falls back to per-row execution).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ObjectModelError
+from repro.memory.block import AllocationBlock
+from repro.memory.layout import (
+    BLOCK_HEADER_SIZE,
+    OBJECT_HEADER_SIZE,
+    REFCOUNT_UNCOUNTED,
+    align8,
+)
+from repro.memory.objects import ObjectTypeDescriptor
+from repro.memory.typecodes import simple_code
+from repro.memory.types import NUMPY_DTYPES
+
+#: root payload header: column count, reserved, row count
+_ROOT_HEADER = struct.Struct("<IIQ")
+#: per-column record: payload offset, dtype string, name length (+ name)
+_COL_RECORD = struct.Struct("<Q8sH")
+
+
+class ColumnarRootType(ObjectTypeDescriptor):
+    """The root object of a columnar page: its self-describing directory."""
+
+    name = "columnar_root"
+
+    #: Fixed well-known code (see StringType.FIXED_CODE): a shipped page's
+    #: root slot must identify the layout with no registration handshake.
+    FIXED_CODE = 3
+
+    def type_code(self, block_or_registry):
+        from repro.memory.objects import _registry_from
+
+        registry = _registry_from(block_or_registry)
+        code = registry.code_for_name(self.name)
+        if code is None:
+            code = registry.register(self.name, self, code=self.FIXED_CODE)
+        return code
+
+    def facade(self, block, offset):
+        return ColumnarPage._parse(block, offset)
+
+    def allocate_value(self, block, value):
+        raise ObjectModelError(
+            "columnar roots are built by ColumnarPage.build(), "
+            "not allocated directly"
+        )
+
+
+ColumnarRoot = ColumnarRootType()
+
+
+class ColumnarPage:
+    """A sealed struct-of-arrays page; columns are zero-copy numpy views."""
+
+    __slots__ = ("block", "count", "_names", "_dtypes", "_offsets")
+
+    def __init__(self, block, names, dtypes, offsets, count):
+        self.block = block
+        self.count = count
+        self._names = names
+        self._dtypes = dtypes
+        self._offsets = offsets
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, schema, columns, page_size, registry=None):
+        """Lay ``columns`` (name -> array-like, equal lengths) onto a page.
+
+        The page is built exactly-sized: column allocations hold the given
+        rows and nothing more, so ``to_bytes`` ships only occupied bytes.
+        """
+        names = schema.names()
+        arrays = []
+        count = None
+        for name, descriptor in schema:
+            dtype = NUMPY_DTYPES[descriptor.name]
+            arr = np.ascontiguousarray(columns[name], dtype=dtype).reshape(-1)
+            if count is None:
+                count = len(arr)
+            elif len(arr) != count:
+                raise ObjectModelError(
+                    "ragged columnar build: column %r has %d rows, "
+                    "expected %d" % (name, len(arr), count)
+                )
+            arrays.append((name, dtype, arr))
+        block = AllocationBlock(page_size, registry=registry, managed=False)
+        dtypes = []
+        offsets = []
+        for name, dtype, arr in arrays:
+            offset = block.allocate(
+                arr.nbytes, simple_code(arr.itemsize),
+                refcount=REFCOUNT_UNCOUNTED,
+            )
+            start = offset + OBJECT_HEADER_SIZE
+            block.buf[start:start + arr.nbytes] = arr.tobytes()
+            dtypes.append(dtype)
+            offsets.append(start)
+        payload = _ROOT_HEADER.pack(len(arrays), 0, count)
+        for (name, dtype, _arr), start in zip(arrays, offsets):
+            encoded = name.encode("utf-8")
+            payload += _COL_RECORD.pack(
+                start, dtype.encode("ascii").ljust(8, b"\0"), len(encoded)
+            ) + encoded
+        root_code = ColumnarRoot.type_code(block)
+        root_offset = block.allocate(
+            len(payload), root_code, refcount=REFCOUNT_UNCOUNTED
+        )
+        start = root_offset + OBJECT_HEADER_SIZE
+        block.buf[start:start + len(payload)] = payload
+        block.set_root(root_offset, root_code)
+        return cls(block, names, dtypes, offsets, count)
+
+    @classmethod
+    def attach(cls, block):
+        """The page's columnar view, or None when ``block`` is row-layout."""
+        offset, code = block.root()
+        if offset is None or code != ColumnarRootType.FIXED_CODE:
+            return None
+        return cls._parse(block, offset)
+
+    @classmethod
+    def _parse(cls, block, root_offset):
+        buf = block.buf
+        cursor = root_offset + OBJECT_HEADER_SIZE
+        ncols, _reserved, count = _ROOT_HEADER.unpack_from(buf, cursor)
+        cursor += _ROOT_HEADER.size
+        names, dtypes, offsets = [], [], []
+        for _ in range(ncols):
+            start, dtype, name_len = _COL_RECORD.unpack_from(buf, cursor)
+            cursor += _COL_RECORD.size
+            names.append(bytes(buf[cursor:cursor + name_len]).decode("utf-8"))
+            dtypes.append(dtype.rstrip(b"\0").decode("ascii"))
+            offsets.append(start)
+            cursor += name_len
+        return cls(block, names, dtypes, offsets, count)
+
+    @staticmethod
+    def capacity_for(schema, page_size):
+        """Rows of ``schema`` that fit on a page of ``page_size`` bytes."""
+        root_payload = _ROOT_HEADER.size + sum(
+            _COL_RECORD.size + len(name.encode("utf-8"))
+            for name in schema.names()
+        )
+        fixed = BLOCK_HEADER_SIZE + max(
+            align8(OBJECT_HEADER_SIZE + root_payload), 24
+        )
+        per_column = len(schema) * (OBJECT_HEADER_SIZE + 8)
+        available = page_size - fixed - per_column
+        return max(available // schema.row_stride, 0)
+
+    # -- access -------------------------------------------------------------
+
+    def names(self):
+        """Column names in schema order."""
+        return list(self._names)
+
+    def column(self, name):
+        """Zero-copy read-only numpy view over column ``name``."""
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise KeyError(name) from None
+        view = np.frombuffer(
+            self.block.buf, dtype=self._dtypes[index], count=self.count,
+            offset=self._offsets[index],
+        )
+        view.flags.writeable = False
+        return view
+
+    def rows(self):
+        """All rows of the page as one :class:`ColumnarRows` batch."""
+        return ColumnarRows(self)
+
+    def __len__(self):
+        return self.count
+
+    def __repr__(self):
+        return "<ColumnarPage %d rows x [%s]>" % (
+            self.count, ", ".join(self._names)
+        )
+
+
+class RowView:
+    """Per-row facade over a columnar page (the object-path bridge).
+
+    Attribute access is schema-named, mirroring the field accessors of a
+    row-layout PCObject facade, so per-row fallback operators run on
+    columnar rows unchanged.  Like any facade it aliases page memory —
+    ``pc_block`` marks it as page-backed for the transport reject checks.
+    """
+
+    __slots__ = ("pc_page", "pc_row")
+
+    def __init__(self, page, row):
+        object.__setattr__(self, "pc_page", page)
+        object.__setattr__(self, "pc_row", row)
+
+    @property
+    def pc_block(self):
+        return self.pc_page.block
+
+    def __getattr__(self, name):
+        try:
+            column = self.pc_page.column(name)
+        except KeyError:
+            raise AttributeError(name) from None
+        return column[self.pc_row].item()
+
+    def field_names(self):
+        """Schema column names, mirroring PCObject.field_names()."""
+        return self.pc_page.names()
+
+    def as_tuple(self):
+        """The row's values as a plain tuple, in schema order."""
+        return tuple(
+            self.pc_page.column(name)[self.pc_row].item()
+            for name in self.pc_page.names()
+        )
+
+    def detach(self):
+        """This row copied out of page memory (no block references)."""
+        return DetachedRow(self.pc_page.names(), self.as_tuple())
+
+    def __eq__(self, other):
+        if isinstance(other, (RowView, DetachedRow)):
+            other = other.as_tuple()
+        if isinstance(other, tuple):
+            return self.as_tuple() == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.as_tuple())
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%r" % (name, value)
+            for name, value in zip(self.pc_page.names(), self.as_tuple())
+        )
+        return "RowView(%s)" % parts
+
+
+class DetachedRow:
+    """A row copied out of page memory: plain values, schema-named attrs.
+
+    What a :class:`RowView` becomes when it must outlive its page — a
+    stored python output, a collect result pickled across a process
+    boundary.  Same attribute surface and tuple equality; no ``pc_block``
+    and no page references, so transport reject checks let it through.
+    """
+
+    __slots__ = ("_names", "_values")
+
+    def __init__(self, names, values):
+        object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_values", tuple(values))
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise AttributeError(name) from None
+        return self._values[index]
+
+    def field_names(self):
+        """Schema column names, mirroring PCObject.field_names()."""
+        return list(self._names)
+
+    def as_tuple(self):
+        """The row's values as a plain tuple, in schema order."""
+        return self._values
+
+    def detach(self):
+        """Already detached; returns self."""
+        return self
+
+    def __eq__(self, other):
+        if isinstance(other, (RowView, DetachedRow)):
+            other = other.as_tuple()
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __lt__(self, other):
+        if isinstance(other, (RowView, DetachedRow)):
+            other = other.as_tuple()
+        if isinstance(other, tuple):
+            return self._values < other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._values)
+
+    def __repr__(self):
+        parts = ", ".join(
+            "%s=%r" % (name, value)
+            for name, value in zip(self._names, self._values)
+        )
+        return "DetachedRow(%s)" % parts
+
+
+class ColumnarRows:
+    """A batch of rows of one columnar page, optionally index-selected.
+
+    This is what flows through the pipeline in place of a list of objects
+    when a scan is columnar: kernels consume whole batches via
+    :meth:`column`, while per-row fallback operators iterate it and get
+    :class:`RowView` facades.
+    """
+
+    __slots__ = ("page", "_indices")
+
+    def __init__(self, page, indices=None):
+        self.page = page
+        self._indices = indices
+
+    def __len__(self):
+        if self._indices is None:
+            return self.page.count
+        return len(self._indices)
+
+    def column(self, name):
+        """Column values for the selected rows (a view when unfiltered)."""
+        column = self.page.column(name)
+        if self._indices is None:
+            return column
+        return column[self._indices]
+
+    def names(self):
+        """Column names in schema order."""
+        return self.page.names()
+
+    def _row_index(self, index):
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(
+                "row index %d out of range (%d)" % (index, length)
+            )
+        if self._indices is None:
+            return index
+        return int(self._indices[index])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                raise ObjectModelError("columnar batches slice by step 1")
+            return self.slice(start, stop)
+        return RowView(self.page, self._row_index(index))
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield RowView(self.page, self._row_index(index))
+
+    def slice(self, start, stop):
+        """Rows ``[start:stop)`` of this batch as a new batch."""
+        if self._indices is None:
+            indices = np.arange(start, min(stop, self.page.count))
+        else:
+            indices = self._indices[start:stop]
+        return ColumnarRows(self.page, indices)
+
+    def mask(self, keep):
+        """The rows where boolean ``keep`` is True, as a new batch."""
+        keep = np.asarray(keep, dtype=bool)
+        if self._indices is None:
+            return ColumnarRows(self.page, np.nonzero(keep)[0])
+        return ColumnarRows(self.page, self._indices[keep])
+
+    def __repr__(self):
+        return "<ColumnarRows %d of %r>" % (len(self), self.page)

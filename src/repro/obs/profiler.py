@@ -90,6 +90,13 @@ class StageProfiler:
             help="Buffer-pool pins during operator applications",
             labelnames=("operator",),
         )
+        self.op_columnar_rows = self.registry.counter(
+            "pc_op_columnar_rows_total",
+            help="Rows each operator processed on the columnar "
+                 "(whole-page array kernel) path; compare against "
+                 "pc_op_rows_total for the columnar-vs-object split",
+            labelnames=("operator",),
+        )
         self.op_peak_bytes = self.registry.gauge(
             "pc_op_peak_bytes",
             help="Max peak buffer-pool occupancy in any one operator run",
@@ -102,6 +109,7 @@ class StageProfiler:
         self._op_handles = {}
         self._stage_handles = {}
         self._op_trace_names = {}
+        self._op_columnar_handles = {}
         self._op_peak_seen = {}
         self._stage_peak_seen = {}
 
@@ -153,6 +161,17 @@ class StageProfiler:
                 "op.%s.cpu_ms" % name, "op.%s.rows" % name,
             )
         return handles
+
+    def note_columnar_rows(self, name, rows):
+        """Record ``rows`` handled by operator ``name``'s array kernel."""
+        handle = self._op_columnar_handles.get(name)
+        if handle is None:
+            handle = self._op_columnar_handles[name] = \
+                self.op_columnar_rows.child(operator=name)
+        handle.inc(rows)
+        tracer = self.tracer
+        if tracer is not None and tracer.active is not None:
+            tracer.add("op.%s.columnar_rows" % name, rows)
 
     def operator(self, name, fn, *args, **kwargs):
         """Run ``fn`` inside a profiled operator scope; returns its result."""

@@ -1,0 +1,163 @@
+"""Declarative column schemas: the one way to opt a set into columnar layout.
+
+A :class:`Schema` names the fixed-stride columns of a set and is passed to
+``cluster.create_set(..., layout="columnar", schema=...)``.  It is the
+client-facing contract behind :class:`repro.memory.columnar.ColumnarPage`:
+every column is a primitive (fixed-width) PC type, so a page can store the
+set struct-of-arrays style and expose each column as a zero-copy numpy
+view.
+
+Schemas can be written out explicitly::
+
+    from repro.schema import Schema, f64, i32
+
+    schema = Schema([("x", f64), ("y", f64), ("flag", i32)])
+
+or derived from a registered :class:`~repro.memory.objects.PCObject`
+subclass whose fields are all primitives::
+
+    schema = Schema.from_class(TaxiRide)
+
+Schemas serialize to plain dicts (:meth:`Schema.to_dict` /
+:meth:`Schema.from_dict`) so the catalog can journal them and workers can
+reconstruct them without shipping descriptor objects.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TypeRegistrationError
+from repro.memory.types import (
+    NUMPY_DTYPES,
+    Float32,
+    Float64,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    UInt32,
+    UInt64,
+    primitive_by_name,
+)
+
+#: Short dtype aliases for schema declarations (numpy-flavoured names).
+f32 = Float32
+f64 = Float64
+i8 = Int8
+i16 = Int16
+i32 = Int32
+i64 = Int64
+u32 = UInt32
+u64 = UInt64
+
+_ALIASES = {
+    "f4": Float32, "f8": Float64,
+    "i1": Int8, "i2": Int16, "i4": Int32, "i8": Int64,
+    "u4": UInt32, "u8": UInt64,
+}
+
+
+def _as_primitive(spec):
+    """Normalize a column type spec into a primitive descriptor."""
+    if isinstance(spec, str):
+        if spec in _ALIASES:
+            return _ALIASES[spec]
+        return primitive_by_name(spec)
+    name = getattr(spec, "name", None)
+    if name in NUMPY_DTYPES:
+        return spec
+    raise TypeRegistrationError(
+        "columnar schemas require fixed-stride numeric columns; "
+        "%r is not one" % (spec,)
+    )
+
+
+class Schema:
+    """An ordered list of ``(name, primitive type)`` columns."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields):
+        seen = set()
+        normalized = []
+        for name, spec in fields:
+            if name in seen:
+                raise TypeRegistrationError(
+                    "duplicate column %r in schema" % (name,)
+                )
+            seen.add(name)
+            normalized.append((name, _as_primitive(spec)))
+        if not normalized:
+            raise TypeRegistrationError("a schema needs at least one column")
+        self.fields = tuple(normalized)
+
+    # -- derivation ---------------------------------------------------------
+
+    @classmethod
+    def from_class(cls, pc_class):
+        """Derive a schema from a PCObject subclass of all-primitive fields.
+
+        Returns None when any field is not fixed-stride numeric (such a
+        class cannot be laid out columnar and must stay on the row path).
+        """
+        accessors = getattr(pc_class, "pc_accessors", None)
+        if not accessors:
+            return None
+        fields = []
+        for accessor in accessors:
+            if NUMPY_DTYPES.get(accessor.pc_type.name) is None:
+                return None
+            fields.append((accessor.name, accessor.pc_type))
+        return cls(fields)
+
+    # -- introspection ------------------------------------------------------
+
+    def names(self):
+        """Column names in declaration order."""
+        return [name for name, _t in self.fields]
+
+    def dtype_of(self, name):
+        """The numpy dtype string of column ``name``."""
+        for field_name, descriptor in self.fields:
+            if field_name == name:
+                return NUMPY_DTYPES[descriptor.name]
+        raise KeyError(name)
+
+    @property
+    def row_stride(self):
+        """Bytes one row occupies across all columns."""
+        return sum(descriptor.slot_size for _n, descriptor in self.fields)
+
+    def __len__(self):
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __eq__(self, other):
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self):
+        return hash(tuple((n, t.name) for n, t in self.fields))
+
+    # -- wire format --------------------------------------------------------
+
+    def to_dict(self):
+        """A plain-dict form suitable for the catalog journal."""
+        return {"columns": [[n, t.name] for n, t in self.fields]}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a schema journaled by :meth:`to_dict` (or None)."""
+        if not data:
+            return None
+        return cls([
+            (name, primitive_by_name(type_name))
+            for name, type_name in data["columns"]
+        ])
+
+    def __repr__(self):
+        return "Schema([%s])" % ", ".join(
+            "(%r, %s)" % (n, t.name) for n, t in self.fields
+        )

@@ -13,20 +13,38 @@ import contextlib
 
 from repro.errors import BlockFullError, StorageError
 from repro.memory.builtins import AnyObject, VectorType
+from repro.memory.columnar import ColumnarPage, ColumnarRows
 from repro.memory.objects import make_object_on, use_allocation_block
 
 _ROOT_VECTOR = VectorType(AnyObject)
 
 
+def _block_object_count(block):
+    """Logical object (row) count of a sealed page block."""
+    colpage = ColumnarPage.attach(block)
+    if colpage is not None:
+        return len(colpage)
+    root_offset, _code = block.root()
+    if root_offset is None:
+        return 0
+    return len(_ROOT_VECTOR.facade(block, root_offset))
+
+
 class PageSet:
     """One partition of a stored set, local to a worker."""
 
-    def __init__(self, database, name, pool, type_name=None, page_size=None):
+    def __init__(self, database, name, pool, type_name=None, page_size=None,
+                 layout="row", schema=None):
         self.database = database
         self.name = name
         self.pool = pool
         self.type_name = type_name
         self.page_size = page_size or pool.page_size
+        #: "row" or "columnar"; individual pages self-describe (their root
+        #: type code), so a columnar set can still adopt row pages (e.g.
+        #: aggregation outputs written into it).
+        self.layout = layout
+        self.schema = schema
         self.page_ids = []
         self.object_count = 0
 
@@ -54,10 +72,7 @@ class PageSet:
         """
         page = self.pool.adopt_page(data, set_key=self.key)
         if count_objects:
-            root_offset, _code = page.block.root()
-            if root_offset is not None:
-                root = _ROOT_VECTOR.facade(page.block, root_offset)
-                self.object_count += len(root)
+            self.object_count += _block_object_count(page.block)
         self.page_ids.append(page.page_id)
         self.pool.unpin(page.page_id, dirty=True)
         return page.page_id
@@ -76,12 +91,9 @@ class PageSet:
         return page.page_id
 
     def page_object_count(self, page_id):
-        """Number of objects on one page of this partition."""
+        """Number of objects (rows, for columnar pages) on one page."""
         with self.pinned_page(page_id) as page:
-            root_offset, _code = page.block.root()
-            if root_offset is None:
-                return 0
-            return len(_ROOT_VECTOR.facade(page.block, root_offset))
+            return _block_object_count(page.block)
 
     # -- reading --------------------------------------------------------------------
 
@@ -95,18 +107,36 @@ class PageSet:
             self.pool.unpin(page_id)
 
     def scan_pages(self):
-        """Yield ``(page, root_vector)`` for each page, pinning in turn."""
+        """Yield ``(page, items)`` for each page, pinning in turn.
+
+        ``items`` is the root vector of handles for a row page, or the
+        page's :class:`~repro.memory.columnar.ColumnarRows` for a
+        columnar one — both iterate one element per stored object.
+        """
         for page_id in self.page_ids:
             with self.pinned_page(page_id) as page:
+                colpage = ColumnarPage.attach(page.block)
+                if colpage is not None:
+                    yield page, colpage.rows()
+                    continue
                 root_offset, _code = page.block.root()
                 if root_offset is None:
                     continue
                 yield page, _ROOT_VECTOR.facade(page.block, root_offset)
 
-    def scan_objects(self):
-        """Yield a handle for every object in the set, page by page."""
-        for _page, root in self.scan_pages():
-            for handle in root:
+    def scan_objects(self, columnar_pages=False):
+        """Yield a handle for every object in the set, page by page.
+
+        Columnar pages yield per-row views by default; with
+        ``columnar_pages`` set, each columnar page instead yields one
+        whole :class:`~repro.memory.columnar.ColumnarRows` batch (the
+        engine's vectorized scan source).
+        """
+        for _page, items in self.scan_pages():
+            if columnar_pages and isinstance(items, ColumnarRows):
+                yield items
+                continue
+            for handle in items:
                 yield handle
 
     def clear(self):

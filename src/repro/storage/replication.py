@@ -30,6 +30,7 @@ from repro.errors import (
     ReplicationError,
 )
 from repro.memory.builtins import AnyObject, VectorType
+from repro.memory.columnar import ColumnarPage
 from repro.obs import MetricsRegistry, Tracer
 
 _ROOT_VECTOR = VectorType(AnyObject)
@@ -270,7 +271,8 @@ class ReplicationManager:
                 self._c_failover_reads.inc()
             yield self._healthy_copy(database, name, record, reader)
 
-    def scan_objects(self, database, name, worker_id=None, only_uids=None):
+    def scan_objects(self, database, name, worker_id=None, only_uids=None,
+                     columnar_pages=False):
         """Yield every object of a set, page by page, via live replicas.
 
         ``worker_id`` restricts the scan to the pages *assigned* to that
@@ -278,12 +280,21 @@ class ReplicationManager:
         holding its first live replica); ``only_uids`` restricts it to a
         subset of pages (the orphan re-run path).  Corrupted copies are
         quarantined and transparently healed from a healthy replica —
-        corrupted bytes are never yielded.
+        corrupted bytes are never yielded.  Columnar pages yield per-row
+        views by default; with ``columnar_pages`` set, each yields one
+        whole :class:`~repro.memory.columnar.ColumnarRows` batch instead.
         """
         for page_set, page_id in self.scan_page_copies(
             database, name, worker_id=worker_id, only_uids=only_uids
         ):
             with page_set.pinned_page(page_id) as page:
+                colpage = ColumnarPage.attach(page.block)
+                if colpage is not None:
+                    if columnar_pages:
+                        yield colpage.rows()
+                    else:
+                        yield from colpage.rows()
+                    continue
                 root_offset, _code = page.block.root()
                 if root_offset is None:
                     continue

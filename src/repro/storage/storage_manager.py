@@ -41,13 +41,14 @@ class LocalStorageServer:
         """All local partitions, as ``((db, name), PageSet)`` pairs."""
         return list(self._sets.items())
 
-    def create_set(self, database, name, type_name=None, page_size=None):
+    def create_set(self, database, name, type_name=None, page_size=None,
+                   layout="row", schema=None):
         """Create the local partition of a set; idempotent."""
         key = (database, name)
         if key not in self._sets:
             self._sets[key] = PageSet(
                 database, name, self.pool, type_name=type_name,
-                page_size=page_size,
+                page_size=page_size, layout=layout, schema=schema,
             )
         return self._sets[key]
 
@@ -125,7 +126,7 @@ class DistributedStorageManager:
         self.catalog.create_database(name)
 
     def create_set(self, database, name, type_name=None, page_size=None,
-                   replication=1):
+                   replication=1, layout="row", schema=None):
         """Create a set partitioned over every attached worker.
 
         The creation is atomic: if any worker-side create fails, the
@@ -146,12 +147,14 @@ class DistributedStorageManager:
         meta = self.catalog.create_set(
             database, name, type_name, self.worker_ids,
             replication=replication, page_size=page_size,
+            layout=layout, schema=schema,
         )
         created = []
         try:
             for server in self._servers.values():
                 server.create_set(
-                    database, name, type_name, page_size=page_size
+                    database, name, type_name, page_size=page_size,
+                    layout=layout, schema=schema,
                 )
                 created.append(server)
         except Exception:

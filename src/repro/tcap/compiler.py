@@ -168,6 +168,8 @@ class TcapCompiler:
             )
             self.program.append(statement)
             self._register_stage(comp, stage, executor)
+            if getattr(node, "kernel", None) is not None:
+                self.program.kernels[(comp.name, stage)] = node.kernel
             vlist = out_vlist
             columns = statement.output_columns()
             done[node.term_id] = new_col

@@ -308,10 +308,15 @@ class TcapProgram:
     endpoints.
     """
 
-    def __init__(self, statements=None, stages=None, computations=None):
+    def __init__(self, statements=None, stages=None, computations=None,
+                 kernels=None):
         self.statements = list(statements or [])
         self.stages = dict(stages or {})
         self.computations = dict(computations or {})
+        #: ``(computation_name, stage_name)`` -> whole-batch kernel for
+        #: stages whose lambda term carries a columnar implementation
+        #: (see ``lambda_from_native(kernel=...)``).
+        self.kernels = dict(kernels or {})
 
     def append(self, statement):
         self.statements.append(statement)

@@ -8,6 +8,7 @@ is the Python equivalent.
 from __future__ import annotations
 
 from repro.errors import TcapError
+from repro.tcap.optimizer.columnar import mark_columnar
 from repro.tcap.optimizer.rules import (
     DEFAULT_RULES,
     eliminate_dead_columns,
@@ -22,6 +23,7 @@ __all__ = [
     "eliminate_dead_columns",
     "eliminate_dead_statements",
     "eliminate_redundant_applies",
+    "mark_columnar",
     "optimize",
     "push_filter_below_join",
     "split_and_filter",

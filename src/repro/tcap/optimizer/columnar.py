@@ -1,0 +1,147 @@
+"""Columnar-eligibility marking: lower pure subgraphs onto array kernels.
+
+:func:`mark_columnar` is an annotation pass, not a rewrite rule: it walks
+the program once in statement order, tracking which vector lists still
+carry array-typed columns, and stamps ``info["columnar"] = "1"`` on every
+statement the kernel library (:mod:`repro.engine.kernels`) can execute
+whole-batch.  The first ineligible statement on a chain is the *fallback
+boundary*: its output vector list leaves the tracked set, the engine
+reifies the batch there, and everything downstream runs on the ordinary
+object path.
+
+Eligibility rules:
+
+* ``SCAN`` of a set stored with ``layout="columnar"`` (the schema comes
+  from the catalog via the ``layout_of`` callback);
+* ``APPLY`` of *transparent* terms over tracked columns — attribute
+  access naming a schema column, identity (self), constants,
+  comparisons, arithmetic, boolean connectives — plus
+  ``nativeLambda`` terms that declared a
+  whole-batch kernel (``lambda_from_native(kernel=...)``; the kernel
+  must satisfy the PCSan PC003 purity discipline);
+* ``FILTER`` whose mask column is array-typed;
+* ``AGGREGATE`` whose computation declares ``reduce = "sum"`` over
+  numeric key/value columns.
+
+``HASH``/``JOIN``/``FLATTEN``, method calls, and un-kernelized native
+lambdas are opaque to the array engine and always start a fallback
+boundary.
+"""
+
+from __future__ import annotations
+
+from repro.tcap.ir import AggregateStmt, ApplyStmt, FilterStmt, ScanStmt
+
+#: APPLY info types executable as ufuncs over numeric columns.
+_NUMERIC_KINDS = (
+    "comparison", "equalityCheck", "arithmetic", "bool_and", "bool_or",
+)
+
+#: the numeric-column tag; rows columns are tagged with their schema names
+_NUM = "num"
+
+
+def _is_rows(tag):
+    return isinstance(tag, frozenset)
+
+
+def _mark(statement):
+    statement.info["columnar"] = "1"
+
+
+def mark_columnar(program, layout_of):
+    """Annotate ``program`` in place; returns the number of marked stmts.
+
+    ``layout_of(database, set_name)`` returns the set's
+    :class:`repro.schema.Schema` when it is stored columnar, else None.
+    """
+    marked = 0
+    col_tags = {}  # vlist name -> {column name -> _NUM | frozenset(schema)}
+    for statement in program.statements:
+        if isinstance(statement, ScanStmt):
+            schema = layout_of(statement.database, statement.set_name)
+            if schema is not None:
+                _mark(statement)
+                marked += 1
+                col_tags[statement.output] = {
+                    statement.column: frozenset(schema.names())
+                }
+            continue
+        if isinstance(statement, ApplyStmt):
+            tags = col_tags.get(statement.input_name)
+            if tags is None:
+                continue
+            out_tag = _apply_output_tag(program, statement, tags)
+            if out_tag is None:
+                continue  # fallback boundary: output vlist untracked
+            _mark(statement)
+            marked += 1
+            out_tags = {
+                name: tags[name] for name in statement.copy_columns
+            }
+            out_tags[statement.new_column] = out_tag
+            col_tags[statement.output] = out_tags
+            continue
+        if isinstance(statement, FilterStmt):
+            tags = col_tags.get(statement.input_name)
+            if tags is None or tags.get(statement.bool_column) != _NUM:
+                continue
+            _mark(statement)
+            marked += 1
+            col_tags[statement.output] = {
+                name: tags[name] for name in statement.copy_columns
+            }
+            continue
+        if isinstance(statement, AggregateStmt):
+            tags = col_tags.get(statement.input_name)
+            comp = program.computations.get(statement.computation)
+            if (
+                tags is not None
+                and tags.get(statement.key_column) == _NUM
+                and tags.get(statement.value_column) == _NUM
+                and getattr(comp, "reduce", None) == "sum"
+            ):
+                _mark(statement)
+                marked += 1
+            # grouped results materialize as plain lists either way, so
+            # the aggregate's output is never tracked downstream.
+            continue
+        # HASH / JOIN / FLATTEN / OUTPUT and anything unknown: opaque.
+    return marked
+
+
+def _apply_output_tag(program, statement, tags):
+    """The produced column's tag when the APPLY is eligible, else None."""
+    info = statement.info
+    kind = info.get("type")
+    inputs = [tags.get(name) for name in statement.apply_columns]
+    if kind == "attAccess":
+        if len(inputs) == 1 and _is_rows(inputs[0]) \
+                and info.get("attName") in inputs[0]:
+            return _NUM
+        return None
+    if kind == "self":
+        # Identity: the produced column is whatever came in (rows or num).
+        if len(inputs) == 1 and inputs[0] is not None:
+            return inputs[0]
+        return None
+    if kind == "constant":
+        if isinstance(info.get("value"), (bool, int, float)):
+            return _NUM
+        return None
+    if kind in _NUMERIC_KINDS:
+        if len(inputs) == 2 and all(tag == _NUM for tag in inputs):
+            return _NUM
+        return None
+    if kind == "bool_not":
+        if len(inputs) == 1 and inputs[0] == _NUM:
+            return _NUM
+        return None
+    if kind == "nativeLambda":
+        has_kernel = (statement.computation, statement.stage) in \
+            getattr(program, "kernels", {})
+        if info.get("kernelized") == "1" and has_kernel \
+                and all(tag is not None for tag in inputs):
+            return _NUM
+        return None
+    return None

@@ -1,0 +1,25 @@
+"""PC006 fixture: row-path handle access inside columnar kernel scopes."""
+
+
+def bad_named_kernel(rows):
+    # A kernel passed by name below: derefs a handle per row.
+    return [h.deref().x for h in rows]  # fires (deref in kernel def)
+
+
+def make_terms(arg, lambda_from_native):
+    good = lambda_from_native(
+        [arg], lambda p: p.x * 2.0,
+        kernel=lambda rows: rows.column("x") * 2.0,  # clean: array code
+    )
+    bad_inline = lambda_from_native(
+        [arg], lambda p: p.x,
+        kernel=lambda rows: rows.facade(0).x,  # fires (facade in kernel)
+    )
+    bad_named = lambda_from_native([arg], lambda p: p.x,
+                                   kernel=bad_named_kernel)
+    return good, bad_inline, bad_named
+
+
+def row_path_elsewhere(handle):
+    # Outside any kernel scope: deref is the object path's daily bread.
+    return handle.deref()

@@ -63,6 +63,21 @@ def test_pc005_fires_on_swallowing_excepts_only():
     assert [f.code for f in findings] == ["PC005"] * 3
 
 
+def test_pc006_fires_in_kernel_scopes_only():
+    findings = run_lint([fixture("pc006_kernel_deref.py")])
+    assert [f.code for f in findings] == ["PC006"] * 2
+    messages = " ".join(f.message for f in findings)
+    assert "deref" in messages and "facade" in messages
+
+
+def test_pc006_covers_the_kernel_library_module():
+    source = "def apply_kernel(batch):\n    return batch.deref()\n"
+    assert [
+        f.code for f in lint_source(source, "repro/engine/kernels.py")
+    ] == ["PC006"]
+    assert lint_source(source, "repro/engine/pipeline.py") == []
+
+
 def test_pc005_is_scoped_to_cluster_paths():
     source = "try:\n    ping()\nexcept ValueError:\n    pass\n"
     assert lint_source(source, "repro/cluster/foo.py") != []
@@ -87,7 +102,7 @@ def test_unrelated_suppression_does_not_silence():
 
 def test_fixture_tree_violates_every_rule():
     codes = {f.code for f in run_lint([FIXTURES])}
-    assert codes == {"PC001", "PC002", "PC003", "PC004", "PC005"}
+    assert codes == {"PC001", "PC002", "PC003", "PC004", "PC005", "PC006"}
 
 
 def test_repo_is_pc_rule_clean():
@@ -99,7 +114,7 @@ def test_repo_is_pc_rule_clean():
 
 def test_rule_catalog_is_complete():
     codes = [code for code, _name, _summary in iter_rules()]
-    assert codes == ["PC001", "PC002", "PC003", "PC004", "PC005"]
+    assert codes == ["PC001", "PC002", "PC003", "PC004", "PC005", "PC006"]
 
 
 def test_select_runs_only_requested_rules():

@@ -55,13 +55,16 @@ def _load_points(cluster, n=200):
 
 
 def test_loader_round_robins_pages(cluster):
-    _load_points(cluster)
+    # Enough rows to span several pages in either page layout (the
+    # columnar struct-of-arrays packing fits ~16 bytes/row here, so 200
+    # rows would seal just one page).
+    n = _load_points(cluster, n=900)
     total = cluster.storage_manager.total_objects("db", "points")
-    assert total == 200
+    assert total == n
     per_worker = [
         len(w.storage.get_set("db", "points")) for w in cluster.workers
     ]
-    assert sum(per_worker) == 200
+    assert sum(per_worker) == n
     assert all(count > 0 for count in per_worker)
     # Pages moved as zero-copy bytes.
     assert cluster.network.bytes_zero_copy > 0

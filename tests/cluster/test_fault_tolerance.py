@@ -216,14 +216,16 @@ def test_failed_page_reload_recovers_via_stage_retry(tmp_path):
         tmp_path, "c", injector=injector, policy=fast_policy(clock),
         n_workers=2, worker_memory=3 << 12,
     )
-    load_points(cluster, n=600)
+    # Enough rows that loading overflows the tiny pool in either page
+    # layout (columnar pages pack ~4x more rows than object pages here).
+    load_points(cluster, n=2400)
     spilled = sum(
         w.storage.pool.stats()["spills"] for w in cluster.workers
     )
     assert spilled > 0, "test premise: loading must spill pages"
     injector.fail_page_reload(times=1)
     result = run_aggregation(cluster)
-    assert result == expected_sums(n=600)
+    assert result == expected_sums(n=2400)
     assert injector.counts["reload_failures"] == 1
     reload_failures = sum(
         w.storage.pool.stats()["reload_failures"] for w in cluster.workers
@@ -246,14 +248,15 @@ def test_hopeless_worker_is_blacklisted_and_absorbed_without_restart(
         clock, max_attempts=2, blacklist_on_exhaustion=True
     )
     cluster = make_cluster(tmp_path, "c", injector=injector, policy=policy)
-    load_points(cluster)
+    # Several pages in either layout, so the doomed worker holds some.
+    load_points(cluster, n=600)
     result = run_aggregation(cluster)
-    assert result == expected_sums()  # the job still finished, correctly
+    assert result == expected_sums(n=600)  # the job still finished, correctly
     assert cluster.blacklist == {"worker-2"}
     assert len(cluster.active_workers) == 2
     assert cluster.stats()["blacklist"] == ["worker-2"]
     # The dead worker's durable partitions moved to the survivors.
-    assert cluster.storage_manager.total_objects("db", "points") == 200
+    assert cluster.storage_manager.total_objects("db", "points") == 600
     totals = cluster.last_trace.totals()
     assert totals["faults.workers_blacklisted"] == 1
     assert totals["faults.pages_redistributed"] > 0

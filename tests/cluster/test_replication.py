@@ -49,7 +49,7 @@ def make_cluster(tmp_path, subdir, injector=None, policy=None, n_workers=3,
     )
 
 
-def load_points(cluster, n=200, replication=1):
+def load_points(cluster, n=600, replication=1):
     cluster.create_database("db")
     cluster.create_set("db", "points", Point, replication=replication)
     with cluster.loader("db", "points") as load:
@@ -67,7 +67,7 @@ def run_aggregation(cluster):
     return cluster.read("db", "sums", as_pairs=True, comp=agg)
 
 
-def expected_sums(n=200):
+def expected_sums(n=600):
     sums = {}
     for i in range(n):
         sums[i % 4] = sums.get(i % 4, 0.0) + float(i)
@@ -111,8 +111,8 @@ def test_replicated_load_places_two_copies_on_distinct_workers(tmp_path):
         assert record.checksum is not None
     assert cluster.replication.replica_writes == len(meta.pages)
     # Each object still counted exactly once despite two stored copies.
-    assert cluster.storage_manager.total_objects("db", "points") == 200
-    assert read_pids(cluster) == list(range(200))
+    assert cluster.storage_manager.total_objects("db", "points") == 600
+    assert read_pids(cluster) == list(range(600))
 
 
 def test_replication_factor_validation(tmp_path):
@@ -163,7 +163,7 @@ def test_partitions_serve_survivors_when_replicas_cover_the_set(tmp_path):
     # Every page still has a live replica, so reads proceed.
     partitions = cluster.storage_manager.partitions("db", "points")
     assert len(partitions) == 2
-    assert read_pids(cluster) == list(range(200))
+    assert read_pids(cluster) == list(range(600))
 
 
 # -- failover reads and re-replication ------------------------------------------------
@@ -180,7 +180,7 @@ def test_kill_worker_fails_over_and_restores_replication(tmp_path):
     created = cluster.kill_worker("worker-1", reason="pulled the plug")
 
     assert cluster.blacklist == {"worker-1"}
-    assert read_pids(cluster) == baseline == list(range(200))
+    assert read_pids(cluster) == baseline == list(range(600))
     assert cluster.replication.failover_reads > 0
     # The factor was restored on the survivors, spread over both.
     assert created > 0
@@ -209,8 +209,8 @@ def test_decommission_evacuates_sole_copies_from_durable_frontend(tmp_path):
     # unreplicated pages instead of losing them.
     moved = cluster.decommission_worker("worker-0", reason="drained")
     assert moved > 0
-    assert read_pids(cluster) == list(range(200))
-    assert cluster.storage_manager.total_objects("db", "points") == 200
+    assert read_pids(cluster) == list(range(600))
+    assert cluster.storage_manager.total_objects("db", "points") == 600
 
 
 # -- corruption: quarantine and heal --------------------------------------------------
@@ -223,14 +223,16 @@ def test_corrupt_spilled_page_is_quarantined_and_healed(tmp_path):
     cluster = make_cluster(
         tmp_path, "c", injector=injector, worker_memory=3 << 12,
     )
-    load_points(cluster, n=600, replication=2)
+    # Enough rows that loading overflows the tiny pool in either page
+    # layout (columnar pages pack ~4x more rows than object pages here).
+    load_points(cluster, n=2400, replication=2)
     spilled = sum(
         w.storage.pool.stats()["spills"] for w in cluster.workers
     )
     assert spilled > 0, "test premise: loading must spill pages"
     injector.corrupt_page(times=1)
 
-    assert read_pids(cluster) == list(range(600))
+    assert read_pids(cluster) == list(range(2400))
 
     assert injector.counts["page_corruptions"] == 1
     repl = cluster.replication
@@ -242,7 +244,7 @@ def test_corrupt_spilled_page_is_quarantined_and_healed(tmp_path):
     assert pool_failures >= 1
     # The healed copy serves cleanly now: a second read sees no new faults.
     healed = repl.pages_healed
-    assert read_pids(cluster) == list(range(600))
+    assert read_pids(cluster) == list(range(2400))
     assert repl.pages_healed == healed
 
 
@@ -342,10 +344,10 @@ def test_recover_replays_the_journal_and_serves_identical_reads(tmp_path):
     # The recovered catalog keeps journaling: loading more data works and
     # survives a second recovery.
     with cluster.loader("db", "points") as load:
-        for i in range(200, 250):
+        for i in range(600, 650):
             load.append(Point, pid=i, cluster_id=i % 4, x=float(i))
     cluster.recover()
-    assert read_pids(cluster) == list(range(250))
+    assert read_pids(cluster) == list(range(650))
 
 
 def test_recovery_after_kill_reflects_the_post_kill_replica_map(tmp_path):
@@ -364,7 +366,7 @@ def test_recovery_after_kill_reflects_the_post_kill_replica_map(tmp_path):
         for uid, record in meta.pages.items()
     } == after_kill
     assert "worker-0" not in meta.partitions
-    assert read_pids(cluster) == list(range(200))
+    assert read_pids(cluster) == list(range(600))
 
 
 # -- mid-job failover ------------------------------------------------------------------

@@ -1,0 +1,163 @@
+"""ColumnarPage: encode/decode round-trips and the row-facade bridge.
+
+The columnar root travels in the ordinary root-handle slot, so a built
+page must survive every movement path a row page does — ``to_bytes`` /
+``from_bytes`` shipping and zero-copy ``from_buffer`` attachment — and
+decode to byte-identical columns.  The hypothesis round-trip drives
+random schemas (mixed dtypes, names, row counts) through both paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObjectModelError
+from repro.memory import AllocationBlock, ColumnarPage, make_allocation_block
+from repro.memory.columnar import ColumnarRows, RowView
+from repro.schema import Schema, f32, f64, i8, i16, i32, i64, u32, u64
+
+PAGE_SIZE = 1 << 16
+
+_DTYPES = [
+    (f64, st.floats(allow_nan=False, allow_infinity=False)),
+    (f32, st.floats(allow_nan=False, allow_infinity=False, width=32)),
+    (i64, st.integers(min_value=-2**63, max_value=2**63 - 1)),
+    (i32, st.integers(min_value=-2**31, max_value=2**31 - 1)),
+    (i16, st.integers(min_value=-2**15, max_value=2**15 - 1)),
+    (i8, st.integers(min_value=-128, max_value=127)),
+    (u32, st.integers(min_value=0, max_value=2**32 - 1)),
+    (u64, st.integers(min_value=0, max_value=2**64 - 1)),
+]
+
+
+@st.composite
+def schema_and_columns(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=4))
+    n_rows = draw(st.integers(min_value=1, max_value=64))
+    fields = []
+    columns = {}
+    for index in range(n_cols):
+        descriptor, values = draw(st.sampled_from(_DTYPES))
+        name = "c%d_%s" % (index, descriptor.name)
+        fields.append((name, descriptor))
+        columns[name] = draw(
+            st.lists(values, min_size=n_rows, max_size=n_rows)
+        )
+    return Schema(fields), columns
+
+
+def _expected_arrays(schema, columns):
+    return {
+        name: np.asarray(columns[name], dtype=schema.dtype_of(name))
+        for name in schema.names()
+    }
+
+
+def _assert_page_matches(page, schema, columns):
+    expected = _expected_arrays(schema, columns)
+    assert page.names() == schema.names()
+    assert len(page) == len(next(iter(expected.values())))
+    for name in schema.names():
+        view = page.column(name)
+        assert view.dtype == np.dtype(schema.dtype_of(name))
+        assert np.array_equal(view, expected[name])
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_and_columns())
+def test_round_trip_through_bytes_and_buffer(case):
+    schema, columns = case
+    page = ColumnarPage.build(schema, columns, PAGE_SIZE)
+    _assert_page_matches(page, schema, columns)
+
+    # Shipping path: to_bytes -> from_bytes (the copying reconstitution).
+    shipped = ColumnarPage.attach(
+        AllocationBlock.from_bytes(page.block.to_bytes())
+    )
+    _assert_page_matches(shipped, schema, columns)
+
+    # Shared-memory path: from_buffer wraps a full-size buffer in place.
+    raw = page.block.to_bytes()
+    segment = bytearray(PAGE_SIZE)
+    segment[: len(raw)] = raw
+    mapped = ColumnarPage.attach(AllocationBlock.from_buffer(segment))
+    _assert_page_matches(mapped, schema, columns)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schema_and_columns())
+def test_row_views_agree_with_columns(case):
+    schema, columns = case
+    page = ColumnarPage.build(schema, columns, PAGE_SIZE)
+    expected = _expected_arrays(schema, columns)
+    for index, row in enumerate(page.rows()):
+        assert isinstance(row, RowView)
+        assert row.as_tuple() == tuple(
+            expected[name][index].item() for name in schema.names()
+        )
+        for name in schema.names():
+            assert getattr(row, name) == expected[name][index].item()
+
+
+def test_attach_returns_none_on_row_layout_pages():
+    assert ColumnarPage.attach(make_allocation_block(4096)) is None
+
+
+def test_column_views_are_read_only_and_zero_copy():
+    schema = Schema([("x", f64)])
+    page = ColumnarPage.build(schema, {"x": [1.0, 2.0, 3.0]}, 4096)
+    view = page.column("x")
+    assert not view.flags.writeable
+    with pytest.raises(ValueError):
+        view[0] = 9.0
+    # The view aliases the page bytes rather than copying them.
+    assert view.base is not None
+    with pytest.raises(KeyError):
+        page.column("missing")
+
+
+def test_ragged_build_is_rejected():
+    schema = Schema([("x", f64), ("y", f64)])
+    with pytest.raises(ObjectModelError, match="ragged"):
+        ColumnarPage.build(schema, {"x": [1.0, 2.0], "y": [3.0]}, 4096)
+
+
+def test_capacity_for_is_honest():
+    schema = Schema([("x", f64), ("y", i32)])
+    capacity = ColumnarPage.capacity_for(schema, 4096)
+    assert capacity > 0
+    columns = {
+        "x": np.arange(capacity, dtype=np.float64),
+        "y": np.arange(capacity, dtype=np.int32),
+    }
+    page = ColumnarPage.build(schema, columns, 4096)
+    assert len(page) == capacity
+    assert np.array_equal(page.column("x"), columns["x"])
+
+
+def test_batch_mask_slice_and_iteration():
+    schema = Schema([("x", f64), ("flag", i64)])
+    page = ColumnarPage.build(
+        schema,
+        {"x": [0.5, 1.5, 2.5, 3.5], "flag": [0, 1, 0, 1]},
+        4096,
+    )
+    rows = page.rows()
+    assert isinstance(rows, ColumnarRows)
+    assert len(rows) == 4
+
+    odd = rows.mask(np.asarray([False, True, False, True]))
+    assert len(odd) == 2
+    assert np.array_equal(odd.column("x"), [1.5, 3.5])
+    # Masking a masked batch composes.
+    assert np.array_equal(odd.mask([True, False]).column("x"), [1.5])
+
+    window = rows.slice(1, 3)
+    assert [r.as_tuple() for r in window] == [(1.5, 1), (2.5, 0)]
+    assert window[0] == (1.5, 1)
+    assert window[-1] == (2.5, 0)
+    with pytest.raises(IndexError):
+        window[2]
+    with pytest.raises(ObjectModelError, match="step 1"):
+        rows[::2]
