@@ -1,0 +1,188 @@
+"""Detect→resume recovery latency under seeded real-signal storms.
+
+The supervision layer's acceptance bar (DESIGN §13) is qualitative —
+byte-identical results under SIGKILL storms — but its *cost* is a
+latency: how long between a back-end dying for real and its replacement
+running the retried task.  This bench runs the multi-stage TPC-H
+customers-per-supplier job on the process transport (replication=2)
+under one :class:`~repro.cluster.ChaosMonkey` storm per seed, asserts
+the storm changed nothing, and persists the per-seed and pooled
+p50/p99 of ``pc_sup_recovery_seconds`` as ``BENCH_chaos.json`` in the
+repository root.
+
+Seeds default to (7, 11, 23); a CI matrix leg can pin one via
+``PC_CHAOS_SEED``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster import ChaosMonkey, PCCluster, RetryPolicy
+from repro.cluster.chaos import KILL, STOP
+from repro.cluster.transport import remote_available
+from repro.obs.metrics import quantile_from_buckets
+from repro.tpch import TpchSpec, customers_per_supplier_pc, load_pc_customers
+
+from bench_utils import render_table, report
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_chaos.json"
+)
+
+TPCH_SPEC = TpchSpec(n_customers=30, n_parts=40, n_suppliers=6, seed=11)
+DEFAULT_SEEDS = (7, 11, 23)
+KILLS, STOPS = 3, 1
+WINDOW_S = 1.5
+HORIZON_S = 2.2
+
+needs_process = pytest.mark.skipif(
+    not remote_available(), reason="cloudpickle unavailable"
+)
+
+
+def _seeds():
+    pinned = os.environ.get("PC_CHAOS_SEED")
+    if pinned:
+        return (int(pinned),)
+    return DEFAULT_SEEDS
+
+
+def _cluster(tmp_path, tag):
+    root = tmp_path / tag
+    root.mkdir(parents=True, exist_ok=True)
+    policy = RetryPolicy(max_attempts=5, backoff_base_s=0.01,
+                         backoff_max_s=0.05)
+    cluster = PCCluster(
+        n_workers=3, page_size=1 << 14, spill_root=str(root),
+        transport="process", retry_policy=policy,
+    )
+    load_pc_customers(cluster, TPCH_SPEC, replication=2)
+    return cluster
+
+
+def _storm_leg(tmp_path, seed, baseline):
+    cluster = _cluster(tmp_path, "storm-%d" % seed)
+    monkey = ChaosMonkey(cluster, seed=seed, kills=KILLS, stops=STOPS,
+                         window_s=WINDOW_S)
+    runs = 0
+    start = time.monotonic()
+    with monkey:
+        horizon = time.monotonic() + HORIZON_S
+        while time.monotonic() < horizon:
+            assert customers_per_supplier_pc(cluster) == baseline
+            runs += 1
+    elapsed = time.monotonic() - start
+    assert monkey.counts == {KILL: KILLS, STOP: STOPS}
+    assert customers_per_supplier_pc(cluster) == baseline
+
+    snapshot = cluster.metrics()
+    family = snapshot.families["pc_sup_recovery_seconds"]
+    leg = {
+        "seed": seed,
+        "runs": runs,
+        "elapsed_s": round(elapsed, 3),
+        "kills_delivered": monkey.counts[KILL],
+        "stops_delivered": monkey.counts[STOP],
+        "deaths": snapshot.value("pc_sup_deaths_total"),
+        "crashes_booked": snapshot.value("pc_faults_backend_crashes_total"),
+        "reforks": sum(w.refork_count for w in cluster.workers),
+        "recovery_p50_s": cluster.supervisor.recovery_quantile(0.5),
+        "recovery_p99_s": cluster.supervisor.recovery_quantile(0.99),
+        "_family": family,
+    }
+    cluster.close()
+    assert cluster.shm_registry.live == {}
+    return leg
+
+
+def _pooled_quantiles(families, q_list):
+    """Quantiles over the bucket counts summed across every storm leg."""
+    bounds, counts, count, max_observed = None, None, 0, None
+    for family in families:
+        for series in family["series"].values():
+            if counts is None:
+                bounds = family["bounds"]
+                counts = list(series["counts"])
+            else:
+                counts = [a + b for a, b in zip(counts, series["counts"])]
+            count += series["count"]
+            if series["max"] is not None:
+                max_observed = (
+                    series["max"] if max_observed is None
+                    else max(max_observed, series["max"])
+                )
+    if counts is None:
+        return {q: None for q in q_list}
+    return {
+        q: quantile_from_buckets(q, bounds, counts, count, max_observed)
+        for q in q_list
+    }
+
+
+def _fmt_ms(seconds):
+    return "-" if seconds is None else "%.1f" % (seconds * 1e3)
+
+
+@needs_process
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_recovery_writes_bench_json(tmp_path, benchmark):
+    baseline_cluster = _cluster(tmp_path, "baseline")
+    baseline = customers_per_supplier_pc(baseline_cluster)
+    baseline_cluster.close()
+
+    legs = [_storm_leg(tmp_path, seed, baseline) for seed in _seeds()]
+    pooled = _pooled_quantiles(
+        [leg.pop("_family") for leg in legs], (0.5, 0.99)
+    )
+
+    # Every leg saw real deaths (booked as crashes whether the exit was
+    # caught by the transport or declared DEAD by heartbeat silence),
+    # re-forked the victims, and measured the recovery.
+    for leg in legs:
+        assert leg["crashes_booked"] >= 1, leg
+        assert leg["reforks"] >= 1, leg
+        assert leg["recovery_p50_s"] is not None, leg
+
+    payload = {
+        "benchmark": "chaos_recovery",
+        "workload": {
+            "job": "tpch_customers_per_supplier",
+            "n_customers": TPCH_SPEC.n_customers,
+            "n_suppliers": TPCH_SPEC.n_suppliers,
+            "replication": 2,
+            "transport": "process",
+            "kills": KILLS,
+            "stops": STOPS,
+            "window_s": WINDOW_S,
+            "seeds": [leg["seed"] for leg in legs],
+        },
+        "results": legs,
+        "recovery_p50_s": pooled[0.5],
+        "recovery_p99_s": pooled[0.99],
+    }
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    report("chaos_recovery", render_table(
+        "Detect -> resume recovery latency under signal storms "
+        "(%d kills + %d stop per seed)" % (KILLS, STOPS),
+        ["seed", "runs", "deaths", "reforks", "p50 ms", "p99 ms"],
+        [
+            [str(leg["seed"]), str(leg["runs"]), str(leg["deaths"]),
+             str(leg["reforks"]), _fmt_ms(leg["recovery_p50_s"]),
+             _fmt_ms(leg["recovery_p99_s"])]
+            for leg in legs
+        ] + [
+            ["all", "-", "-", "-", _fmt_ms(pooled[0.5]),
+             _fmt_ms(pooled[0.99])]
+        ],
+    ))
+
+    # One representative storm for pytest-benchmark stats.
+    benchmark(lambda: _storm_leg(tmp_path, _seeds()[0], baseline))

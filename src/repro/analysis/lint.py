@@ -300,7 +300,7 @@ def check_impure_native_lambda(tree, path, source):
 # -- PC004: counter without trace mirror -------------------------------------
 
 _MIRRORED_PREFIXES = (
-    "pc_pool_", "pc_net_", "pc_repl_", "pc_faults_", "pc_san_",
+    "pc_pool_", "pc_net_", "pc_repl_", "pc_faults_", "pc_san_", "pc_sup_",
 )
 
 

@@ -1,5 +1,6 @@
 """The simulated distributed runtime: master, workers, network, scheduler."""
 
+from repro.cluster.chaos import ChaosMonkey
 from repro.cluster.cluster import ClusterLoader, PCCluster
 from repro.cluster.faults import FakeClock, FaultInjector, RetryPolicy
 from repro.cluster.network import SimulatedNetwork, estimate_value_bytes
@@ -8,6 +9,7 @@ from repro.cluster.scheduler import (
     DistributedScheduler,
     JobStage,
 )
+from repro.cluster.supervisor import Supervisor, WorkerVitals
 from repro.cluster.transport import (
     ProcessTransport,
     Transport,
@@ -17,6 +19,7 @@ from repro.cluster.worker import BackendProcess, WorkerNode
 
 __all__ = [
     "BackendProcess",
+    "ChaosMonkey",
     "ClusterLoader",
     "DEFAULT_BROADCAST_THRESHOLD",
     "DistributedScheduler",
@@ -27,8 +30,10 @@ __all__ = [
     "ProcessTransport",
     "RetryPolicy",
     "SimulatedNetwork",
+    "Supervisor",
     "Transport",
     "WorkerNode",
+    "WorkerVitals",
     "estimate_value_bytes",
     "make_transport",
 ]

@@ -1,0 +1,184 @@
+"""Seeded signal storms against real back-end processes.
+
+:class:`~repro.cluster.faults.FaultInjector` proves the recovery
+machinery against *simulated* failures — exceptions raised inside one
+process.  :class:`ChaosMonkey` is its process-transport counterpart: it
+delivers **real** ``SIGKILL`` / ``SIGSTOP`` / ``SIGCONT`` to the pids of
+live back-end children while a job runs, from a background thread, on a
+schedule drawn deterministically from a seed.  A SIGKILL exercises the
+heartbeat/death path (detect → re-fork → retry); a SIGSTOP + later
+SIGCONT exercises the SUSPECT path — the worker lags, is *not* killed,
+resumes, and its task completes exactly once.
+
+The schedule is fixed at construction (``random.Random(seed)``), so a
+chaos run is reproducible: same seed, same actions at the same offsets
+aimed at the same worker slots.  What is *not* deterministic is where
+each signal lands in the job's execution — that is the point: the
+byte-identical assertion must hold wherever the storm hits.
+
+Usage::
+
+    monkey = ChaosMonkey(cluster, seed=7, kills=3, stops=1)
+    with monkey:                      # starts the storm thread
+        job_log = run_job(cluster)    # signals land mid-job
+    assert results_match(baseline)
+    monkey.delivered                  # [(offset_s, action, worker, pid)]
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+
+from repro.cluster.supervisor import DEFAULT_DEAD_AFTER_S
+
+KILL = "kill"
+STOP = "stop"
+
+
+class ChaosMonkey:
+    """Delivers a seeded storm of real signals to back-end children.
+
+    ``kills`` SIGKILLs and ``stops`` SIGSTOP/SIGCONT pairs are spread
+    uniformly over ``window_s`` seconds from :meth:`start`.  Each event
+    targets a deterministic *worker slot* (index into the cluster's
+    worker list); the pid is resolved at delivery time, so a re-forked
+    backend is targeted by its current child, like a real failure would.
+
+    ``stop_duration_s`` defaults to safely below the supervisor's DEAD
+    deadline: a stopped worker must come back as SUSPECT→ALIVE, not be
+    declared dead — pass a longer duration to exercise the kill path.
+    """
+
+    def __init__(self, cluster, seed=0, kills=3, stops=1, window_s=2.0,
+                 stop_duration_s=None, start_after_s=0.05):
+        self.cluster = cluster
+        self.seed = seed
+        if stop_duration_s is None:
+            stop_duration_s = min(0.3, DEFAULT_DEAD_AFTER_S / 4.0)
+        self.stop_duration_s = stop_duration_s
+        rng = random.Random(seed)
+        events = []
+        n_workers = max(1, len(cluster.workers))
+        for _ in range(kills):
+            events.append(
+                (start_after_s + rng.uniform(0.0, window_s), KILL,
+                 rng.randrange(n_workers))
+            )
+        for _ in range(stops):
+            events.append(
+                (start_after_s + rng.uniform(0.0, window_s), STOP,
+                 rng.randrange(n_workers))
+            )
+        #: the storm, as (offset_s, action, worker_slot), time-ordered.
+        self.schedule = sorted(events)
+        #: what actually landed: (offset_s, action, worker_id, pid).
+        self.delivered = []
+        self.counts = {KILL: 0, STOP: 0}
+        self._thread = None
+        self._halt = threading.Event()
+
+    # -- targeting ---------------------------------------------------------------
+
+    def _target_pid(self, slot):
+        """Current child pid of the slot's worker, or None.
+
+        Blacklisted workers and sim back-ends have no pid; the storm
+        loop re-aims such events a bounded number of times and then
+        drops them.
+        """
+        workers = self.cluster.workers
+        if not workers:
+            return None, None
+        worker = workers[slot % len(workers)]
+        if worker.worker_id in self.cluster.blacklist:
+            return worker.worker_id, None
+        return worker.worker_id, getattr(worker.backend, "child_pid", None)
+
+    @staticmethod
+    def _signal(pid, signum):
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError:
+            return False  # already gone; the supervisor beat us to it
+        return True
+
+    # -- the storm thread --------------------------------------------------------
+
+    #: Re-aim attempts per event before giving up (a miss means the slot
+    #: was mid-re-fork or blacklisted at that instant).
+    MAX_RETRIES = 50
+
+    def _run(self):
+        started = time.monotonic()
+        resumes = []  # (due_at, pid) for pending SIGCONTs
+        pending = [(offset, action, slot, 0)
+                   for offset, action, slot in self.schedule]
+        while (pending or resumes) and not self._halt.is_set():
+            now = time.monotonic() - started
+            while resumes and resumes[0][0] <= now:
+                _due, pid = resumes.pop(0)
+                self._signal(pid, signal.SIGCONT)
+            if pending and pending[0][0] <= now:
+                offset, action, slot, retries = pending.pop(0)
+                worker_id, pid = self._target_pid(slot)
+                sent = pid is not None and self._signal(
+                    pid, signal.SIGKILL if action == KILL
+                    else signal.SIGSTOP
+                )
+                if sent:
+                    self.delivered.append((offset, action, worker_id, pid))
+                    self.counts[action] += 1
+                    if action == STOP:
+                        resumes.append((now + self.stop_duration_s, pid))
+                        resumes.sort()
+                elif retries < self.MAX_RETRIES:
+                    # The slot had no killable pid *right now* (backend
+                    # mid-re-fork, pid already reaped): re-aim shortly —
+                    # every scheduled signal eventually lands for real.
+                    pending.append(
+                        (now + 0.05, action, slot, retries + 1)
+                    )
+                    pending.sort()
+                continue
+            self._halt.wait(0.01)
+        # Never leave a process stopped: a halted storm still delivers
+        # its owed SIGCONTs, else the job wedges behind the harness.
+        for _due, pid in resumes:
+            self._signal(pid, signal.SIGCONT)
+
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._halt.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="pc-chaos", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def join(self, timeout=None):
+        """Wait for the storm to finish delivering (SIGCONTs included)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def halt(self):
+        """Abort undelivered events; owed SIGCONTs are still sent."""
+        self._halt.set()
+        self.join(timeout=5)
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb):
+        # On a clean exit the storm has (usually) drained already; on an
+        # exception, abort it so no stopped child outlives the test.
+        if exc_type is None:
+            self.join(timeout=30)
+        else:
+            self.halt()
+        return False

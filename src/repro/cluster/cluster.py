@@ -57,6 +57,7 @@ from repro.memory.objects import make_object_on
 from repro.schema import Schema
 from repro.storage import DistributedStorageManager, ReplicationManager
 from repro.storage.page import DEFAULT_PAGE_SIZE
+from repro.storage.shm_registry import ShmRegistry
 from repro.tcap.compiler import compile_computations
 from repro.tcap.optimizer import mark_columnar, optimize
 from repro.cluster.faults import RetryPolicy
@@ -132,6 +133,13 @@ class PCCluster:
             os.path.join(self._master_dir, "catalog.journal")
         )
         self.catalog = CatalogManager(journal=self.journal)
+        # Shared-memory hygiene: named segments are journaled next to the
+        # catalog WAL, and segments stranded by a previous hard-killed
+        # run under this spill root are reaped before any pool opens.
+        self.shm_registry = ShmRegistry(
+            os.path.join(self._master_dir, "shm.registry")
+        )
+        self.shm_registry.sweep_orphans()
         self.tracer = Tracer()
         # The master process's metrics registry.  Every master-side
         # component (network, replication, scheduler, fault recovery)
@@ -173,6 +181,7 @@ class PCCluster:
                 "worker-%d" % index, self.catalog, worker_memory, page_size,
                 spill_dir=spill, tracer=self.tracer,
                 fault_injector=fault_injector, transport=self.transport,
+                shm_registry=self.shm_registry,
             )
             self.workers.append(worker)
             self.storage_manager.attach_server(worker.storage)
@@ -431,9 +440,13 @@ class PCCluster:
 
         The in-memory DDL and replica-map state is discarded and replayed
         from the write-ahead journal, after which reads and queries serve
-        the same answers as before the crash.  Returns the number of
-        journal records applied.
+        the same answers as before the crash.  A restart is also the
+        moment crash hygiene runs: shared-memory segments recorded in the
+        registry but owned by dead processes are reaped, exactly like the
+        startup sweep in ``__init__``.  Returns the number of journal
+        records applied.
         """
+        self.shm_registry.sweep_orphans()
         return self.catalog.replay_journal()
 
     # -- loading data -----------------------------------------------------------------
@@ -664,6 +677,15 @@ class PCCluster:
         """The :class:`~repro.obs.Trace` of the most recent job, or None."""
         return self.tracer.last_trace
 
+    @property
+    def supervisor(self):
+        """The transport's :class:`~repro.cluster.supervisor.Supervisor`.
+
+        None on transports without real back-end processes (sim) — there
+        is nothing to heartbeat; crashes there are plain exceptions.
+        """
+        return getattr(self.transport, "supervisor", None)
+
     def stats(self):
         """Cluster-wide counters for tests and benches."""
         return {
@@ -742,6 +764,7 @@ class PCCluster:
         for worker in self.workers:
             worker.storage.pool.close()
         self.transport.close()
+        self.shm_registry.close()
 
     def __enter__(self):
         return self

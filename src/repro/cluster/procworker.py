@@ -24,7 +24,10 @@ portion inline.
 
 from __future__ import annotations
 
+import os
 import pickle
+import threading
+import time
 import traceback
 
 from multiprocessing import shared_memory
@@ -43,6 +46,35 @@ from repro.memory.builtins import AnyObject, VectorType
 from repro.memory.columnar import ColumnarPage
 
 _ROOT_VECTOR = VectorType(AnyObject)
+
+#: Live progress of the task loop, published by the heartbeat thread.
+#: Plain dict writes are atomic under the GIL, so the task loop updates
+#: it lock-free and the beat thread reads whatever is current.
+_progress = {"task": 0, "rows": 0}
+
+
+def _beat_loop(slot, interval):
+    """Publish liveness + progress into the shared heartbeat slot.
+
+    Runs as a daemon thread so it dies with the process — and, more
+    importantly, *freezes* with it: a SIGSTOP suspends every thread, so
+    the beat sequence stops advancing exactly while the worker cannot
+    make progress.  The master's Supervisor reads staleness off this
+    slot (see :mod:`repro.cluster.supervisor` for the field layout).
+    """
+    pid = os.getpid()
+    seq = 0
+    while True:
+        seq += 1
+        slot[0] = float(seq)  # BEAT_SEQ
+        slot[2] = float(pid)  # BEAT_PID
+        slot[3] = float(_progress["task"])  # BEAT_TASK
+        slot[4] = float(_progress["rows"])  # BEAT_ROWS
+        # The timestamp is written last: a torn read can at worst pair a
+        # fresh timestamp with one-beat-old progress, never a stale
+        # timestamp with fresh progress (which would delay detection).
+        slot[1] = time.monotonic()  # BEAT_TIME
+        time.sleep(interval)
 
 
 class _TaskRejected(Exception):
@@ -176,6 +208,7 @@ def _run_collect(engine, stages, batches, tracer):
     for batch in batches:
         engine.metrics.batches += 1
         engine.metrics.rows_in += len(batch)
+        _progress["rows"] += len(batch)
         tracer.add("engine.batches")
         tracer.add("engine.rows_in", len(batch))
         current = batch
@@ -241,6 +274,7 @@ def _execute(spec):
             for batch in batches:
                 engine.metrics.batches += 1
                 engine.metrics.rows_in += len(batch)
+                _progress["rows"] += len(batch)
                 engine._process_batch(view, batch, sink)
             if kind == "aggregate":
                 result = (list(sink.groups.keys()),
@@ -257,29 +291,46 @@ def _execute(spec):
         _detach(attachments)
 
 
-def backend_main(task_queue, result_queue):
-    """The back-end process's main loop: one task at a time, until None."""
+def backend_main(task_queue, result_queue, heartbeat=None,
+                 beat_interval=0.05):
+    """The back-end process's main loop: one task at a time, until None.
+
+    With a ``heartbeat`` slot (a shared ``Array('d', 5)``), a daemon
+    thread publishes liveness + progress every ``beat_interval`` seconds
+    for the master-side Supervisor; without one the loop behaves exactly
+    as before (foreign callers, heartbeat-less tests).
+    """
+    if heartbeat is not None:
+        threading.Thread(
+            target=_beat_loop, args=(heartbeat, beat_interval),
+            name="pc-heartbeat", daemon=True,
+        ).start()
     while True:
         item = task_queue.get()
         if item is None:
             break
         task_id, blob = item
+        _progress["task"] = task_id
+        _progress["rows"] = 0
         try:
-            spec = pickle.loads(blob)
-            result, deltas = _execute(spec)
-        except _TaskRejected as rejected:
-            result_queue.put((task_id, "reject", str(rejected)))
-            continue
-        except Exception:  # noqa: BLE001 - reported as a crash, parent re-forks
-            result_queue.put(
-                (task_id, "error", traceback.format_exc(limit=20))
-            )
-            continue
-        try:
-            payload = pickle.dumps((result, deltas))
-        except Exception as exc:  # noqa: BLE001 - unshippable, not fatal
-            result_queue.put(
-                (task_id, "reject", "unpicklable result: %s" % exc)
-            )
-            continue
-        result_queue.put((task_id, "ok", payload))
+            try:
+                spec = pickle.loads(blob)
+                result, deltas = _execute(spec)
+            except _TaskRejected as rejected:
+                result_queue.put((task_id, "reject", str(rejected)))
+                continue
+            except Exception:  # noqa: BLE001 - reported as a crash, parent re-forks
+                result_queue.put(
+                    (task_id, "error", traceback.format_exc(limit=20))
+                )
+                continue
+            try:
+                payload = pickle.dumps((result, deltas))
+            except Exception as exc:  # noqa: BLE001 - unshippable, not fatal
+                result_queue.put(
+                    (task_id, "reject", "unpicklable result: %s" % exc)
+                )
+                continue
+            result_queue.put((task_id, "ok", payload))
+        finally:
+            _progress["task"] = 0

@@ -323,7 +323,12 @@ class DistributedScheduler:
                 self.fault_metrics.backend_crashes.inc()
                 if abort is not None:
                     abort()
-                timed_out = policy.timed_out(started)
+                # The policy clock covers sim determinism; real deadline
+                # kills (process transport) arrive pre-judged on the
+                # crash itself, so either channel books a timeout.
+                timed_out = policy.timed_out(started) or getattr(
+                    crash, "deadline_exceeded", False
+                )
                 if timed_out or not policy.should_retry(attempts):
                     self._fail_permanently(
                         worker, stage, attempts, crash, timed_out
@@ -365,7 +370,9 @@ class DistributedScheduler:
                 self.fault_metrics.backend_crashes.inc()
                 if state["abort"] is not None:
                     state["abort"]()
-                timed_out = policy.timed_out(state["started"])
+                timed_out = policy.timed_out(state["started"]) or getattr(
+                    crash, "deadline_exceeded", False
+                )
                 if timed_out or not policy.should_retry(state["attempts"]):
                     self._fail_permanently(
                         worker, stage, state["attempts"], crash, timed_out
@@ -677,6 +684,14 @@ class DistributedScheduler:
                 )
         for name, value in outcome.trace_counts.items():
             self.tracer.add(name, value)
+            if (self.profiler is not None and name.startswith("op.")
+                    and name.endswith(".columnar_rows")):
+                # The child had no profiler; re-book its columnar row
+                # counts under the operator they belong to.
+                operator = name[len("op."):-len(".columnar_rows")]
+                self.profiler.op_columnar_rows.child(
+                    operator=operator
+                ).inc(value)
 
     def _remote_task(self, worker, stages, source_builder, sink_spec,
                      run_inline, install, label=""):

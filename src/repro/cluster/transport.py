@@ -31,14 +31,22 @@ import multiprocessing
 import os
 import pickle
 import queue
+import time
 import weakref
 import zlib
 from collections import defaultdict
 
+from repro.cluster.supervisor import (
+    DEFAULT_BEAT_INTERVAL_S,
+    HEARTBEAT_FIELDS,
+    Supervisor,
+    _env_float,
+)
 from repro.cluster.worker import BackendProcess, CompletedFuture
 from repro.errors import (
     BackendCrashedError,
     PageCorruptionError,
+    TaskDeadlineError,
     TransferDroppedError,
     WorkerCrashError,
 )
@@ -420,6 +428,26 @@ class _PendingFuture:
         self._done = False
         self._value = None
         self._error = None
+        #: armed by ProcessBackend.submit from RetryPolicy.timeout_s —
+        #: an absolute monotonic-clock instant, enforced while awaiting.
+        self.deadline = None
+        self.timeout_s = None
+        #: the transport's Supervisor, consulted on every await poll tick.
+        self.supervisor = None
+
+    def _monitor(self, worker_id):
+        """Build the per-poll-tick liveness/deadline check, if supervised."""
+        supervisor = self.supervisor
+        if supervisor is None:
+            return None
+        child, deadline, timeout_s = self._child, self.deadline, self.timeout_s
+
+        def check():
+            return supervisor.enforce(
+                worker_id, child, deadline=deadline, timeout_s=timeout_s
+            )
+
+        return check
 
     def result(self):
         if self._done:
@@ -428,7 +456,9 @@ class _PendingFuture:
             return self._value
         self._done = True
         worker_id = self._backend.worker.worker_id
-        status, payload = self._child.wait_for(self._task_id)
+        status, payload = self._child.wait_for(
+            self._task_id, monitor=self._monitor(worker_id)
+        )
         if status == "ok":
             try:
                 result, deltas = pickle.loads(payload)
@@ -456,9 +486,25 @@ class _PendingFuture:
                 raise
             return self._value
         self._backend.crashed = True
-        self._error = WorkerCrashError(
-            "back-end process of worker %r died: %s" % (worker_id, payload)
-        )
+        verdict = self._child.kill_verdicts.pop(self._task_id, None)
+        if verdict is not None and verdict[1]:
+            self._error = TaskDeadlineError(
+                "task %r on worker %r: %s"
+                % (self._task.label, worker_id, verdict[0])
+            )
+        elif verdict is not None:
+            self._error = WorkerCrashError(
+                "back-end process of worker %r declared dead: %s"
+                % (worker_id, verdict[0])
+            )
+        else:
+            self._error = WorkerCrashError(
+                "back-end process of worker %r died: %s"
+                % (worker_id, payload)
+            )
+        # When the death was detected, for recovery-latency accounting
+        # (WorkerNode.await_result observes now -> post-re-fork).
+        self._error.detected_at = time.monotonic()
         raise self._error
 
 
@@ -476,14 +522,28 @@ class _ChildProcess:
         ctx = multiprocessing.get_context("spawn")
         self._tasks = ctx.Queue()
         self._results = ctx.Queue()
+        # Liveness + progress slot the child's beat thread writes into;
+        # lock-free because each field is a single aligned double.
+        self.heartbeat = ctx.Array(
+            "d", HEARTBEAT_FIELDS, lock=False
+        )
+        self.beat_interval_s = _env_float(
+            "PC_SUP_BEAT_S", DEFAULT_BEAT_INTERVAL_S
+        )
+        self.started_at = time.monotonic()
         self._proc = ctx.Process(
-            target=backend_main, args=(self._tasks, self._results),
+            target=backend_main,
+            args=(self._tasks, self._results, self.heartbeat,
+                  self.beat_interval_s),
             daemon=True,
         )
         self._proc.start()
         self._task_ids = itertools.count(1)
         self._arrived = {}
         self._outstanding = set()
+        #: task_id -> (reason, deadline_exceeded) for supervisor kills,
+        #: consumed by _PendingFuture to type the resulting error.
+        self.kill_verdicts = {}
         self.broken = False
 
     @property
@@ -502,24 +562,44 @@ class _ChildProcess:
         self._outstanding.add(task_id)
         return _PendingFuture(self, backend, task, task_id)
 
-    def wait_for(self, task_id):
-        """Block until ``task_id``'s result (or the child's death) arrives."""
+    def _pull_result(self, timeout):
+        """One queue read; True if a result was installed, False if not.
+
+        A SIGKILL can land while the child's queue feeder holds the pipe
+        mid-write, tearing the stream — a torn read is treated like an
+        empty queue (the liveness check right after books the death).
+        """
+        try:
+            tid, status, payload = self._results.get(timeout=timeout)
+        except queue.Empty:
+            return False
+        except (EOFError, OSError, pickle.UnpicklingError,  # pcsan: disable=PC005
+                ValueError, TypeError):
+            return False  # torn stream from a killed writer
+        self._arrived[tid] = (status, payload)
+        return True
+
+    def wait_for(self, task_id, monitor=None):
+        """Block until ``task_id``'s result (or the child's death) arrives.
+
+        ``monitor`` is the supervisor's per-tick check: consulted only
+        after the queue came up empty — an arrived result always wins
+        over a kill verdict, which is what makes supervised re-dispatch
+        safe against double execution — and at most once per task (a
+        killed child needs no second verdict).
+        """
         while task_id not in self._arrived:
-            try:
-                tid, status, payload = self._results.get(timeout=0.1)
-                self._arrived[tid] = (status, payload)
+            if self._pull_result(0.1):
                 continue
-            except queue.Empty:  # pcsan: disable=PC005
-                pass  # poll tick: fall through to the liveness check
+            if monitor is not None and task_id not in self.kill_verdicts:
+                verdict = monitor()
+                if verdict is not None:
+                    self.kill_verdicts[task_id] = verdict
             if not self._proc.is_alive():
                 # Final drain: results the child flushed right before
                 # dying may still be in flight through the queue feeder.
-                try:
-                    while True:
-                        tid, status, payload = self._results.get(timeout=0.2)
-                        self._arrived[tid] = (status, payload)
-                except queue.Empty:  # pcsan: disable=PC005
-                    pass  # drain complete
+                while self._pull_result(0.2):
+                    pass
                 if task_id in self._arrived:
                     break
                 self.broken = True
@@ -529,7 +609,12 @@ class _ChildProcess:
                         "process exited with code %s" % self._proc.exitcode,
                     ))
         self._outstanding.discard(task_id)
-        return self._arrived.pop(task_id)
+        status, payload = self._arrived.pop(task_id)
+        if status != "died":
+            # The task delivered despite any kill verdict (result raced
+            # the SIGKILL out the door): the verdict is moot.
+            self.kill_verdicts.pop(task_id, None)
+        return status, payload
 
     def stop(self):
         """Terminate the child and release its queue resources."""
@@ -610,6 +695,7 @@ class ProcessBackend(BackendProcess):
         super().__init__(worker)
         self._transport = transport
         self._child = transport.lease_child()
+        transport.supervisor.watch(worker.worker_id, self._child)
 
     @property
     def child_pid(self):
@@ -624,12 +710,25 @@ class ProcessBackend(BackendProcess):
                     "must re-fork it before dispatching again"
                     % (self.worker.worker_id,)
                 )
-            return self._child.submit(fn, self)
+            future = self._child.submit(fn, self)
+            future.supervisor = self._transport.supervisor
+            policy = self._transport.retry_policy
+            timeout_s = getattr(policy, "timeout_s", None)
+            if timeout_s is not None:
+                # A real wall-clock deadline, independent of the policy's
+                # injectable clock: on this transport elapsed time is
+                # real, so the timeout must be too.
+                future.timeout_s = timeout_s
+                future.deadline = time.monotonic() + timeout_s
+            return future
         return super().submit(fn, *args, **kwargs)
 
     def shutdown(self):
         child, self._child = self._child, None
         if child is not None:
+            self._transport.supervisor.unwatch(
+                self.worker.worker_id, child
+            )
             self._transport.retire_child(child, healthy=not self.crashed)
 
 
@@ -643,6 +742,8 @@ class ProcessTransport(Transport):
                  metrics=None):
         super().__init__(tracer=tracer, fault_injector=fault_injector,
                          retry_policy=retry_policy, metrics=metrics)
+        #: liveness + deadline authority over this transport's children.
+        self.supervisor = Supervisor(metrics=self.metrics)
         self._leased = []
         self._finalizer = weakref.finalize(
             self, _release_leased, self._leased

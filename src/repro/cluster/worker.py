@@ -23,6 +23,8 @@ otherwise engines of finished jobs would accumulate across executions
 
 from __future__ import annotations
 
+import time
+
 from repro.catalog import LocalCatalog
 from repro.errors import BackendCrashedError, WorkerCrashError
 from repro.obs import MetricsRegistry
@@ -106,7 +108,7 @@ class WorkerNode:
 
     def __init__(self, worker_id, master_catalog, capacity_bytes,
                  page_size, spill_dir=None, tracer=None,
-                 fault_injector=None, transport=None):
+                 fault_injector=None, transport=None, shm_registry=None):
         self.worker_id = worker_id
         self.transport = transport
         # Front-end components (survive backend crashes).  The worker's
@@ -131,6 +133,7 @@ class WorkerNode:
             registry=self.local_catalog.registry, spill_dir=spill_dir,
             tracer=tracer, fault_injector=fault_injector,
             metrics=self.metrics, residency=residency,
+            shm_registry=shm_registry,
         )
         if transport is not None:
             self.backend = transport.make_backend(self)
@@ -164,8 +167,16 @@ class WorkerNode:
         """
         try:
             return future.result()
-        except WorkerCrashError:
+        except WorkerCrashError as crash:
             self.refork_backend()
+            # Real deaths carry the detection instant; the span through
+            # the re-fork is the supervision layer's recovery latency.
+            detected_at = getattr(crash, "detected_at", None)
+            supervisor = getattr(self.transport, "supervisor", None)
+            if detected_at is not None and supervisor is not None:
+                supervisor.observe_recovery(
+                    self.worker_id, time.monotonic() - detected_at
+                )
             raise
 
     def dispatch(self, fn, *args, **kwargs):

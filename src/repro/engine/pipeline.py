@@ -257,6 +257,11 @@ class PipelineEngine:
         self.metrics.columnar_rows += rows
         if self.profiler is not None:
             self.profiler.note_columnar_rows(operator, rows)
+        elif self.tracer is not None:
+            # No profiler in a back-end process: record the per-operator
+            # count as a trace counter so the coordinator can replay it
+            # into its own pc_op_columnar_rows_total series.
+            self.tracer.add("op.%s.columnar_rows" % operator, rows)
 
     def _probe(self, stage, batch):
         table = self.hash_tables.get(stage.output)

@@ -149,6 +149,24 @@ class WorkerCrashError(ClusterError):
     """
 
 
+class TaskDeadlineError(WorkerCrashError):
+    """A dispatched task overran its wall-clock deadline and was killed.
+
+    Raised by the process transport when a back-end process is still alive
+    but has not produced its result within ``RetryPolicy.timeout_s`` real
+    seconds: the supervisor SIGKILLs the wedged child and the front-end
+    re-forks it.  A :class:`WorkerCrashError` subclass so the scheduler's
+    recovery machinery runs unchanged — but typed, so the retry loop can
+    book the failure as a *timeout* rather than a crash even when the
+    injectable policy clock never advanced.
+    """
+
+    #: Consulted by the scheduler's retry loop alongside
+    #: ``RetryPolicy.timed_out`` — real wall time and simulated clock time
+    #: reach the same verdict through different channels.
+    deadline_exceeded = True
+
+
 class InjectedFaultError(ClusterError):
     """A deterministic fault fired by a :class:`~repro.cluster.FaultInjector`."""
 

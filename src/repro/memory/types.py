@@ -109,6 +109,21 @@ class PrimitiveType(PCType):
     def default_value(self):
         return self._default
 
+    # ``struct.Struct`` objects refuse to pickle, but primitive
+    # descriptors ride inside every registry shipped to a back-end
+    # process (they become container element descriptors the first time
+    # a Vector<float64> et al. is registered mid-job).  Swap the codec
+    # for its format string in transit and rebuild it on arrival.
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_codec"] = self._codec.format
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._codec = struct.Struct(state["_codec"])
+
 
 class BoolType(PrimitiveType):
     """One-byte boolean."""

@@ -12,6 +12,7 @@ half of the paper's zero-cost data movement.
 
 from __future__ import annotations
 
+import atexit
 import os
 import tempfile
 import weakref
@@ -29,7 +30,7 @@ from repro.storage.page import DEFAULT_PAGE_SIZE, Page
 from repro.storage.replication import corrupt_bytes, page_checksum
 
 
-def _release_segments(pages, segments, graveyard):
+def _release_segments(pages, segments, graveyard, shm_registry=None):
     """Close and unlink every shared-memory segment a pool left behind.
 
     Module-level so ``weakref.finalize`` can run it after the pool itself
@@ -51,8 +52,26 @@ def _release_segments(pages, segments, graveyard):
             shm.unlink()
         except (FileNotFoundError, OSError):
             pass
+        if shm_registry is not None:
+            shm_registry.note_unlink(shm.name)
     segments.clear()
     del graveyard[:]
+
+
+#: Pools with shared-memory residency still open in this process; the
+#: interpreter-exit hook drops their segments so a *clean* exit (including
+#: an uncaught exception unwinding the stack) never strands /dev/shm
+#: entries.  Hard kills are covered by the ShmRegistry startup sweep.
+_LIVE_SHM_POOLS = weakref.WeakSet()
+
+
+@atexit.register
+def _atexit_release_pools():
+    for pool in list(_LIVE_SHM_POOLS):
+        try:
+            pool.close()
+        except Exception:  # noqa: BLE001 - interpreter is going down
+            pass
 
 
 class BufferPool:
@@ -60,7 +79,8 @@ class BufferPool:
 
     def __init__(self, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
                  registry=None, spill_dir=None, tracer=None,
-                 fault_injector=None, metrics=None, residency="mem"):
+                 fault_injector=None, metrics=None, residency="mem",
+                 shm_registry=None):
         if capacity_bytes < page_size:
             raise StorageError("buffer pool smaller than one page")
         if residency not in ("mem", "shm"):
@@ -74,6 +94,10 @@ class BufferPool:
         #: with named POSIX shared-memory segments so a back-end *process*
         #: can attach to a sealed page by name (zero-copy hand-off).
         self.residency = residency
+        #: crash-safety journal (repro.storage.shm_registry.ShmRegistry):
+        #: every named segment's create/unlink is recorded so a later run
+        #: can reap what a hard-killed process stranded.
+        self.shm_registry = shm_registry
         self._shm_segments = {}  # page_id -> SharedMemory
         self._shm_graveyard = []  # segments kept alive by exported views
         self._shm_prefix = "pc%d-%s" % (os.getpid(), os.urandom(3).hex())
@@ -81,7 +105,10 @@ class BufferPool:
         self._finalizer = weakref.finalize(
             self, _release_segments,
             self._pages, self._shm_segments, self._shm_graveyard,
+            shm_registry,
         )
+        if residency == "shm":
+            _LIVE_SHM_POOLS.add(self)
         self._lru = OrderedDict()  # page_id -> None, oldest first
         self._next_page_id = 1
         self._in_memory_bytes = 0
@@ -210,9 +237,14 @@ class BufferPool:
         """
         from multiprocessing import shared_memory
 
+        name = "%s-%d" % (self._shm_prefix, page_id)
+        if self.shm_registry is not None:
+            # Journaled *before* the segment exists (WAL discipline): the
+            # registry must always be a superset of what is in /dev/shm,
+            # so a kill between the two lines over-reports, never leaks.
+            self.shm_registry.note_create(name)
         shm = shared_memory.SharedMemory(
-            name="%s-%d" % (self._shm_prefix, page_id),
-            create=True, size=block_size,
+            name=name, create=True, size=block_size,
         )
         self._shm_segments[page_id] = shm
         # shm.buf is the raw mapping the AllocationBlock is built over,
@@ -256,6 +288,8 @@ class BufferPool:
                 shm.unlink()
             except FileNotFoundError:  # pcsan: disable=PC005
                 pass  # never materialised
+            if self.shm_registry is not None:
+                self.shm_registry.note_unlink(shm.name)
             shm.close()
             raise
         page = Page(page_id, block, set_key=set_key)
@@ -298,6 +332,8 @@ class BufferPool:
             shm.unlink()
         except FileNotFoundError:
             pass
+        if self.shm_registry is not None:
+            self.shm_registry.note_unlink(shm.name)
         try:
             shm.close()
         except BufferError:

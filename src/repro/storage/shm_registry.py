@@ -1,0 +1,192 @@
+"""Crash-safe registry of named shared-memory segments.
+
+The "shm" page residency backs sealed pages with named POSIX
+shared-memory segments so back-end *processes* can attach to them
+zero-copy.  Named segments outlive their creator: a coordinator that is
+``kill -9``'d leaves every segment it owned sitting in ``/dev/shm``
+forever — no destructor, no ``atexit`` hook, no ``resource_tracker``
+runs after SIGKILL.
+
+The fix mirrors the catalog's write-ahead journal: every segment
+*create* and *unlink* is appended to a registry file next to the catalog
+WAL **before** it matters, so the registry is always a superset of the
+segments that might exist.  A later run (``PCCluster.__init__`` /
+``recover()``) replays the registry and reaps every live-listed segment
+whose creator pid is dead — crash hygiene as replay, exactly like DDL
+recovery.
+
+Records are one JSON object per line::
+
+    {"op": "create", "name": "pc1234-ab12cd-7", "pid": 1234}
+    {"op": "unlink", "name": "pc1234-ab12cd-7", "pid": 1234}
+
+Appends are flushed to the OS (surviving a SIGKILL of the process) but
+not fsync'd: the threat model is a dead *process*, not a dead machine —
+the segments themselves do not survive a reboot either.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def pid_alive(pid):
+    """Whether ``pid`` names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def unlink_segment(name):
+    """Unlink one named segment; returns True if it existed.
+
+    Attaches by name, immediately closes, and unlinks — the attach is
+    unavoidable (POSIX unlinks by handle in Python's wrapper) and the
+    resource tracker's registration is undone by the unlink itself.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except OSError:
+        # A foreign segment we cannot map (permissions, size 0): leave it.
+        return False
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+class ShmRegistry:
+    """Journal of named segments owned by the pools sharing one root.
+
+    One registry serves every buffer pool of a cluster (the file sits
+    next to the catalog WAL).  ``note_create``/``note_unlink`` append a
+    record and keep an in-memory live set; :meth:`sweep_orphans` reaps
+    the segments of *dead* creators and compacts the file down to the
+    records that still matter.
+    """
+
+    #: Compact once the journal carries this many dead records beyond
+    #: the live set — spill churn re-creates segments constantly and the
+    #: file must not grow without bound.
+    COMPACT_SLACK = 4096
+
+    def __init__(self, path):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._live = {}  # name -> creator pid (this process's view)
+        self._file = None
+        self._dead_records = 0
+        self.segments_reaped = 0
+        for record in self._entries():
+            if record.get("op") == "create":
+                self._live[record["name"]] = record.get("pid", 0)
+            elif record.get("op") == "unlink":
+                self._live.pop(record.get("name"), None)
+                self._dead_records += 2
+
+    def _entries(self):
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError:
+                    # A torn final line from a killed writer: every
+                    # complete record before it is intact, and the torn
+                    # one can only be a missed unlink (the sweep's pid
+                    # check makes the create side safe to over-report).
+                    continue
+
+    def _append(self, op, name):
+        if self._file is None:
+            self._file = open(self.path, "a")
+        self._file.write(json.dumps(
+            {"op": op, "name": name, "pid": os.getpid()},
+            sort_keys=True,
+        ))
+        self._file.write("\n")
+        self._file.flush()
+
+    def note_create(self, name):
+        """Record a segment this process just created (pre-create is fine)."""
+        self._append("create", name)
+        self._live[name] = os.getpid()
+
+    def note_unlink(self, name):
+        """Record that a segment was unlinked."""
+        if name not in self._live:
+            return
+        self._append("unlink", name)
+        self._live.pop(name, None)
+        self._dead_records += 2
+        if self._dead_records >= self.COMPACT_SLACK:
+            self.compact()
+
+    @property
+    def live(self):
+        """``{name: creator_pid}`` of segments believed to still exist."""
+        return dict(self._live)
+
+    def compact(self):
+        """Rewrite the journal with only the still-live create records."""
+        tmp = self.path + ".compact"
+        with open(tmp, "w") as f:
+            for name, pid in self._live.items():
+                f.write(json.dumps(
+                    {"op": "create", "name": name, "pid": pid},
+                    sort_keys=True,
+                ))
+                f.write("\n")
+            f.flush()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        os.replace(tmp, self.path)
+        self._dead_records = 0
+
+    def sweep_orphans(self):
+        """Reap segments whose creating process is gone; returns the count.
+
+        Segments owned by live pids (including this process) are left
+        alone — their pools' finalizers handle them.  Reaped names are
+        journaled as unlinked so repeated sweeps stay cheap.
+        """
+        reaped = 0
+        for name, pid in list(self._live.items()):
+            if pid_alive(pid):
+                continue
+            unlink_segment(name)
+            # Whether or not the segment still existed, its dead owner
+            # can never unlink it again: retire the record either way.
+            self._append("unlink", name)
+            self._live.pop(name, None)
+            self._dead_records += 2
+            reaped += 1
+        if reaped:
+            self.compact()
+        self.segments_reaped += reaped
+        return reaped
+
+    def close(self):
+        if self._file is not None:
+            self._file.close()
+            self._file = None

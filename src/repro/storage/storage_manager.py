@@ -26,13 +26,14 @@ class LocalStorageServer:
 
     def __init__(self, worker_id, capacity_bytes, page_size=DEFAULT_PAGE_SIZE,
                  registry=None, spill_dir=None, tracer=None,
-                 fault_injector=None, metrics=None, residency="mem"):
+                 fault_injector=None, metrics=None, residency="mem",
+                 shm_registry=None):
         self.worker_id = worker_id
         self.pool = BufferPool(
             capacity_bytes, page_size=page_size, registry=registry,
             spill_dir=spill_dir, tracer=tracer,
             fault_injector=fault_injector, metrics=metrics,
-            residency=residency,
+            residency=residency, shm_registry=shm_registry,
         )
         self.metrics = self.pool.metrics
         self._sets = {}  # (db, set) -> PageSet
