@@ -184,3 +184,94 @@ def test_trace_runtime_writes_bench_json(benchmark):
         ),
         job_name="agg-sums-bench",
     ))
+
+
+# -- tracing overhead budget (PR 9) -----------------------------------------------
+#
+# Distributed tracing must stay effectively free: the same workload on
+# identical clusters with the tracer enabled and disabled (the null
+# tracer — no spans, no trace ring), interleaved best-of-N so machine
+# noise hits both arms equally.  The measured fraction lands in
+# BENCH_trace.json's "tracing_overhead" section and CI fails over 5%.
+
+TRIALS = 7
+OVERHEAD_BUDGET = 0.05
+
+
+def _overhead_cluster(tracing):
+    cluster = PCCluster(n_workers=4, page_size=1 << 13, tracing=tracing)
+    _load(cluster)
+    return cluster
+
+
+def _overhead_job(cluster, job_name):
+    import time
+
+    computation = Writer("db", job_name).set_input(
+        SumByCluster().set_input(
+            Positive().set_input(ObjectReader("db", "points"))
+        )
+    )
+    start = time.perf_counter()
+    cluster.execute_computations(computation, job_name=job_name)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="trace")
+def test_tracing_overhead_within_budget(benchmark):
+    times = {False: [], True: []}
+    clusters = {False: _overhead_cluster(False),
+                True: _overhead_cluster(True)}
+    for tracing, cluster in clusters.items():
+        _overhead_job(cluster, "warmup")
+    for trial in range(TRIALS):
+        for tracing, cluster in clusters.items():
+            times[tracing].append(
+                _overhead_job(cluster, "run-%d" % trial)
+            )
+
+    off = min(times[False])
+    on = min(times[True])
+    overhead = (on - off) / off
+
+    # The traced arm really did trace; the untraced arm really did not.
+    assert clusters[True].last_trace is not None
+    assert clusters[True].last_trace.totals()["engine.rows_in"] > 0
+    assert clusters[False].last_trace is None
+    assert clusters[False].traces(5) == []
+
+    section = {
+        "trials": TRIALS,
+        "wall_s_tracing_off": round(off, 6),
+        "wall_s_tracing_on": round(on, 6),
+        "overhead_fraction": round(overhead, 6),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "samples": {
+            "off": [round(t, 6) for t in times[False]],
+            "on": [round(t, 6) for t in times[True]],
+        },
+    }
+    try:
+        with open(BENCH_PATH) as f:
+            payload = json.load(f)
+    except (OSError, ValueError):
+        payload = {"benchmark": "trace_runtime"}
+    payload["tracing_overhead"] = section
+    with open(BENCH_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    report("trace_overhead", (
+        "tracing off (best of %d): %.4fs\n"
+        "tracing on  (best of %d): %.4fs\n"
+        "overhead: %.2f%% (budget %.0f%%)"
+        % (TRIALS, off, TRIALS, on, 100 * overhead,
+           100 * OVERHEAD_BUDGET)
+    ))
+
+    assert overhead <= OVERHEAD_BUDGET, (
+        "tracing overhead %.2f%% exceeds the %.0f%% budget"
+        % (100 * overhead, 100 * OVERHEAD_BUDGET)
+    )
+
+    benchmark(lambda: _overhead_job(clusters[True], "bench"))

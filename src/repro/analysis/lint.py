@@ -301,6 +301,7 @@ def check_impure_native_lambda(tree, path, source):
 
 _MIRRORED_PREFIXES = (
     "pc_pool_", "pc_net_", "pc_repl_", "pc_faults_", "pc_san_", "pc_sup_",
+    "pc_trace_",
 )
 
 

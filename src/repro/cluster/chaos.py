@@ -132,6 +132,10 @@ class ChaosMonkey:
                 if sent:
                     self.delivered.append((offset, action, worker_id, pid))
                     self.counts[action] += 1
+                    recorder = getattr(self.cluster, "flight", None)
+                    if recorder is not None:
+                        recorder.record("chaos.signal", action=action,
+                                        worker=worker_id, target_pid=pid)
                     if action == STOP:
                         resumes.append((now + self.stop_duration_s, pid))
                         resumes.sort()

@@ -44,12 +44,14 @@ from repro.errors import (
     StorageError,
 )
 from repro.obs import (
+    FlightRecorder,
     HealthCheck,
     MetricsRegistry,
     MetricsSnapshot,
     StageProfiler,
     Tracer,
 )
+from repro.obs.tracer import Span
 from repro.memory.builtins import AnyObject, MapFacade, VectorType
 from repro.memory.columnar import ColumnarPage
 from repro.memory.handle import Handle
@@ -120,7 +122,7 @@ class PCCluster:
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
                  fault_injector=None, retry_policy=None, profiling=False,
-                 sanitize=False, transport=None):
+                 sanitize=False, transport=None, tracing=True):
         # The master's durable territory: the catalog journals every DDL
         # and replica-map mutation (write-ahead) under the spill root, so
         # recover() can rebuild its state after a simulated master crash.
@@ -140,7 +142,10 @@ class PCCluster:
             os.path.join(self._master_dir, "shm.registry")
         )
         self.shm_registry.sweep_orphans()
-        self.tracer = Tracer()
+        # ``tracing=False`` swaps in the null tracer: spans become the
+        # shared no-op span and no trace is built — the zero-overhead
+        # baseline BENCH_trace.json's overhead budget is measured against.
+        self.tracer = Tracer(enabled=tracing)
         # The master process's metrics registry.  Every master-side
         # component (network, replication, scheduler, fault recovery)
         # publishes here; each worker front-end has its own registry and
@@ -157,6 +162,10 @@ class PCCluster:
         self.fault_metrics = _FaultCounters(self.metrics_registry)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
+        # The master-side flight recorder (DESIGN §14): a constant-memory
+        # ring of structured runtime events, dumped into the job trace
+        # when something dies.  Children get their own shared rings.
+        self.flight = FlightRecorder(capacity=256)
         # ``transport`` picks where worker back-ends live: "sim" (default)
         # keeps them in-process and deterministic, "process" backs each one
         # with a real spawned OS process attaching sealed pages over
@@ -164,6 +173,7 @@ class PCCluster:
         self.transport = make_transport(
             transport, tracer=self.tracer, fault_injector=fault_injector,
             retry_policy=self.retry_policy, metrics=self.metrics_registry,
+            recorder=self.flight,
         )
         self.network = self.transport
         self.page_size = page_size
@@ -518,6 +528,8 @@ class PCCluster:
         san = self.sanitizer
         pools = [w.storage.pool for w in self.workers]
         pin_baseline = san.snapshot_pins(pools) if san is not None else None
+        flight_baseline = self.flight.seq
+        crash_baseline = self.fault_metrics.backend_crashes.value
         with self.tracer.span(job_name, kind="job") as job_span:
             with self.tracer.span("compile", kind="phase"):
                 program = compile_computations(sinks)
@@ -535,8 +547,10 @@ class PCCluster:
             )
             self.last_program = program
             self.last_plan = plan
+            failed = True
             try:
                 job_log = scheduler.execute()
+                failed = False
             finally:
                 self.last_job_log = scheduler.job_log
                 job_span.inc("job.stages", len(scheduler.job_log))
@@ -544,6 +558,16 @@ class PCCluster:
                 job_span.inc("job.workers", len(self.active_workers))
                 self._c_jobs.inc()
                 self._h_job_seconds.observe(time.perf_counter() - started)
+                # Flight-recorder dump (DESIGN §14): when the job failed
+                # or any back-end died mid-job, attach the master ring's
+                # events from this job's window to the job span, so the
+                # trace carries the last-N-events context of the verdict.
+                died = (self.fault_metrics.backend_crashes.value
+                        > crash_baseline)
+                if (failed or died) and isinstance(job_span, Span):
+                    job_span.events.extend(
+                        self.flight.snapshot(since_seq=flight_baseline)
+                    )
                 if san is not None:
                     san.check_pins(pools, pin_baseline)
         return job_log
@@ -674,8 +698,22 @@ class PCCluster:
 
     @property
     def last_trace(self):
-        """The :class:`~repro.obs.Trace` of the most recent job, or None."""
+        """The :class:`~repro.obs.Trace` of the most recent job, or None.
+
+        An alias for ``traces(1)[0]``; back-to-back jobs rotate through
+        the ring :meth:`traces` reads, so earlier evidence survives.
+        """
         return self.tracer.last_trace
+
+    def traces(self, n=1):
+        """The last ``n`` completed job traces, most recent first.
+
+        A small ring (:data:`repro.obs.tracer.TRACE_RING_SIZE` deep)
+        keeps back-to-back jobs — the TPC-H acceptance suite, retry
+        storms — from clobbering each other's evidence; returns fewer
+        than ``n`` entries when fewer jobs have completed.
+        """
+        return self.tracer.recent_traces(n)
 
     @property
     def supervisor(self):

@@ -20,6 +20,16 @@ trace-counter deltas the coordinator replays into its shadow engine.  A
 task whose result would carry PC objects (handles/facades pointing into
 page memory) is *rejected*, not failed: the coordinator re-runs that
 portion inline.
+
+Since PR 9 the child runs a real :class:`~repro.obs.Tracer` (DESIGN
+§14): every task executes inside a ``task`` span that adopts the
+coordinator's trace context (``spec["trace_ctx"]``), each TCAP operator
+gets one coalesced ``op`` span (first batch to last), and the finished
+span batch ships back inside the result envelope — or, on failure,
+inside the *error* envelope with the spans marked ``truncated``, so a
+retry never loses the counters the attempt accumulated.  A
+:class:`~repro.obs.FlightRecorder` writing a parent-allocated shared
+ring keeps the last-N structured events readable even after a SIGKILL.
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ from repro.engine.vectors import batches_of
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import AnyObject, VectorType
 from repro.memory.columnar import ColumnarPage
+from repro.obs.events import FlightRecorder
+from repro.obs.tracer import Span, Tracer
 
 _ROOT_VECTOR = VectorType(AnyObject)
 
@@ -51,6 +63,12 @@ _ROOT_VECTOR = VectorType(AnyObject)
 #: Plain dict writes are atomic under the GIL, so the task loop updates
 #: it lock-free and the beat thread reads whatever is current.
 _progress = {"task": 0, "rows": 0}
+
+#: The in-flight task's tracer/engine, kept module-level so the main
+#: loop's error path can harvest partial spans and counter deltas after
+#: ``_execute`` unwound (the satellite fix: deltas accumulated before an
+#: exception must ship in the error envelope).
+_task_state = {}
 
 
 def _beat_loop(slot, interval):
@@ -88,20 +106,49 @@ class _PlanStub:
         self.build_sides = build_sides
 
 
-class _CountingTracer:
-    """Collects tracer counter increments so they can be shipped back."""
+class _OpSpanRecorder:
+    """Coalesces operator applications into one ``op`` span per operator.
 
-    def __init__(self):
-        self.counts = {}
+    Plugs into :class:`PipelineEngine`'s profiler seam, so it sees every
+    TCAP operator application on both the collect and the sink paths.  A
+    task applies each operator once per batch; a span per application
+    would explode the trace, so the span for an operator covers its
+    first application through its latest one, with per-batch row counts
+    accumulated on the span.  Spans attach directly to the task's root
+    span (never the tracer stack: coalesced ops overlap in time).
+    """
 
-    def add(self, name, value=1):
-        self.counts[name] = self.counts.get(name, 0) + value
+    def __init__(self, root):
+        self._root = root
+        self._ops = {}
 
-    def inc(self, name, value=1):
-        self.add(name, value)
+    def operator(self, name, fn, stage, batch):
+        span = self._ops.get(name)
+        if span is None:
+            span = Span(name, kind="op")
+            span.pid = self._root.pid
+            span.parent_id = self._root.span_id
+            self._ops[name] = span
+            self._root.children.append(span)
+        span.inc("op.rows_in", len(batch))
+        result = fn(stage, batch)
+        span.end = time.monotonic()
+        if result is not None:
+            span.inc("op.rows_out", len(result))
+        return result
 
-    def event(self, *args, **kwargs):
-        pass
+    def note_columnar_rows(self, name, rows):
+        """Book array-kernel rows where the coordinator's replay reads.
+
+        With a profiler set, the engine routes columnar row counts here
+        instead of its tracer fallback.  They go on the task *root*
+        span, whose direct counters ship flat in the ``"trace"`` delta —
+        the channel ``_apply_remote_deltas`` re-books its
+        ``pc_op_columnar_rows_total`` series from.  Putting them on the
+        op span instead would strand them (replay only reads the flat
+        dict) and double-count once the span tree is grafted.
+        """
+        self._root.inc("op.%s.columnar_rows" % name, rows)
 
 
 class _StagesView:
@@ -251,60 +298,125 @@ def _reject_pc_values(value, depth=0):
             _reject_pc_values(item, depth + 1)
 
 
-def _execute(spec):
-    tracer = _CountingTracer()
-    engine = PipelineEngine(
-        spec["program"], _PlanStub(spec["build_sides"]), None,
-        batch_size=spec["batch_size"], tracer=tracer,
-    )
-    engine.hash_tables.update(spec["hash_tables"])
-    attachments = []
-    try:
-        batches = _source_batches(
-            spec["source"], engine, spec["registry"], attachments
+def _pack_deltas(engine, root, events):
+    """The shipping form of one task's evidence (result or error leg).
+
+    The root span's *direct* counters travel flat in ``"trace"`` — the
+    coordinator replays them with ``tracer.add`` onto its own open task
+    span, exactly as the counter-only protocol did — and are emptied off
+    the shipped span tree so grafting cannot double-count them.  The op
+    spans keep their own counters; they exist only remotely.  Spans
+    serialize relative to the root's start, with the root's absolute
+    ``time.monotonic()`` carried once as ``"span_base"`` for the
+    coordinator's clock-offset shift.
+    """
+    trace_counts = dict(root.counters)
+    root.counters = {}
+    return {
+        "metrics": engine.metrics.as_dict() if engine is not None else {},
+        "trace": trace_counts,
+        "spans": [root.to_dict()],
+        "span_base": root.start,
+        "events": events,
+        "pid": os.getpid(),
+    }
+
+
+def _failure_deltas(recorder):
+    """Harvest whatever the failed task accumulated before it blew up.
+
+    ``_execute`` registered its tracer/engine in ``_task_state`` before
+    running; by the time we get here the task span has been closed by
+    the context-manager unwind (or is force-closed via ``abandon`` if
+    the failure skipped the unwind), so the evidence is complete as far
+    as it goes — it is marked ``truncated`` because the task did not
+    finish, not because the spans are malformed.  Returns None when the
+    failure precedes any execution state (e.g. a spec unpickle error).
+    """
+    tracer = _task_state.get("tracer")
+    if tracer is None:
+        return None
+    trace = tracer.abandon() or tracer.last_trace
+    if trace is None:
+        return None
+    root = trace.root
+    for span in root.walk():
+        span.truncated = True
+    events = []
+    if recorder is not None:
+        events = recorder.snapshot(_task_state.get("events_since", 0))
+    return _pack_deltas(_task_state.get("engine"), root, events)
+
+
+def _execute(spec, task_id=0, recorder=None):
+    tracer = Tracer()
+    context = spec.get("trace_ctx") or {}
+    if context.get("trace_id"):
+        tracer.trace_id = context["trace_id"]
+    with tracer.span("task-%d" % task_id, kind="task") as root:
+        root.pid = os.getpid()
+        root.parent_id = context.get("parent_span_id")
+        engine = PipelineEngine(
+            spec["program"], _PlanStub(spec["build_sides"]), None,
+            batch_size=spec["batch_size"], tracer=tracer,
+            profiler=_OpSpanRecorder(root),
         )
-        stages = spec["stages"]
-        sink_spec = spec["sink"]
-        kind = sink_spec[0]
-        if kind == "collect":
-            result = _run_collect(engine, stages, batches, tracer)
-        else:
-            sink = _build_sink(engine, sink_spec)
-            view = _StagesView(stages)
-            for batch in batches:
-                engine.metrics.batches += 1
-                engine.metrics.rows_in += len(batch)
-                _progress["rows"] += len(batch)
-                engine._process_batch(view, batch, sink)
-            if kind == "aggregate":
-                result = (list(sink.groups.keys()),
-                          list(sink.groups.values()))
-            elif kind == "hash_build":
-                result = sink.table
+        _task_state["tracer"] = tracer
+        _task_state["engine"] = engine
+        engine.hash_tables.update(spec["hash_tables"])
+        attachments = []
+        try:
+            batches = _source_batches(
+                spec["source"], engine, spec["registry"], attachments
+            )
+            stages = spec["stages"]
+            sink_spec = spec["sink"]
+            kind = sink_spec[0]
+            if kind == "collect":
+                result = _run_collect(engine, stages, batches, tracer)
             else:
-                result = sink.columns
-        _reject_pc_values(result)
-        deltas = {"metrics": engine.metrics.as_dict(),
-                  "trace": tracer.counts}
-        return result, deltas
-    finally:
-        _detach(attachments)
+                sink = _build_sink(engine, sink_spec)
+                view = _StagesView(stages)
+                for batch in batches:
+                    engine.metrics.batches += 1
+                    engine.metrics.rows_in += len(batch)
+                    _progress["rows"] += len(batch)
+                    engine._process_batch(view, batch, sink)
+                if kind == "aggregate":
+                    result = (list(sink.groups.keys()),
+                              list(sink.groups.values()))
+                elif kind == "hash_build":
+                    result = sink.table
+                else:
+                    result = sink.columns
+            _reject_pc_values(result)
+        finally:
+            _detach(attachments)
+    events = []
+    if recorder is not None:
+        events = recorder.snapshot(_task_state.get("events_since", 0))
+    deltas = _pack_deltas(engine, root, events)
+    return result, deltas
 
 
 def backend_main(task_queue, result_queue, heartbeat=None,
-                 beat_interval=0.05):
+                 beat_interval=0.05, flight=None):
     """The back-end process's main loop: one task at a time, until None.
 
     With a ``heartbeat`` slot (a shared ``Array('d', 5)``), a daemon
     thread publishes liveness + progress every ``beat_interval`` seconds
     for the master-side Supervisor; without one the loop behaves exactly
-    as before (foreign callers, heartbeat-less tests).
+    as before (foreign callers, heartbeat-less tests).  ``flight`` is an
+    optional parent-allocated shared byte ring: the child's flight
+    recorder mirrors every event into it, so the master can read this
+    process's last-N events even after a SIGKILL.
     """
     if heartbeat is not None:
         threading.Thread(
             target=_beat_loop, args=(heartbeat, beat_interval),
             name="pc-heartbeat", daemon=True,
         ).start()
+    recorder = FlightRecorder(buffer=flight)
     while True:
         item = task_queue.get()
         if item is None:
@@ -312,18 +424,31 @@ def backend_main(task_queue, result_queue, heartbeat=None,
         task_id, blob = item
         _progress["task"] = task_id
         _progress["rows"] = 0
+        _task_state.clear()
+        _task_state["events_since"] = recorder.seq
+        recorder.record("task.dispatch", task=task_id)
         try:
             try:
                 spec = pickle.loads(blob)
-                result, deltas = _execute(spec)
+                result, deltas = _execute(spec, task_id=task_id,
+                                          recorder=recorder)
             except _TaskRejected as rejected:
+                recorder.record("task.reject", task=task_id,
+                                reason=str(rejected)[:120])
                 result_queue.put((task_id, "reject", str(rejected)))
                 continue
             except Exception:  # noqa: BLE001 - reported as a crash, parent re-forks
-                result_queue.put(
-                    (task_id, "error", traceback.format_exc(limit=20))
-                )
+                recorder.record("task.error", task=task_id)
+                # The error envelope carries the deltas accumulated
+                # before the exception (spans marked truncated), so a
+                # retry never loses this attempt's counters.
+                result_queue.put((task_id, "error", {
+                    "traceback": traceback.format_exc(limit=20),
+                    "deltas": _failure_deltas(recorder),
+                }))
                 continue
+            recorder.record("task.complete", task=task_id,
+                            rows=_progress["rows"])
             try:
                 payload = pickle.dumps((result, deltas))
             except Exception as exc:  # noqa: BLE001 - unshippable, not fatal
@@ -334,3 +459,4 @@ def backend_main(task_queue, result_queue, heartbeat=None,
             result_queue.put((task_id, "ok", payload))
         finally:
             _progress["task"] = 0
+            _task_state.clear()

@@ -77,6 +77,7 @@ from repro.errors import (
 from repro.memory.block import AllocationBlock
 from repro.memory.builtins import MapType, stable_hash
 from repro.memory.objects import make_object_on
+from repro.obs.tracer import Span
 from repro.storage.replication import page_checksum
 from repro.tcap.ir import ApplyStmt, JoinStmt, OutputStmt
 
@@ -124,6 +125,14 @@ class DistributedScheduler:
         self._current_stage = None
         #: remote (process-backed) offload needs cloudpickle for task blobs
         self._remote_off = not remote_available()
+        #: the cluster's flight recorder (scheduler decisions leave events)
+        self.flight = getattr(cluster, "flight", None)
+        self._c_remote_spans = cluster.metrics_registry.counter(
+            "pc_trace_remote_spans_total",
+            help="Spans recorded in back-end processes and grafted into "
+                 "job traces",
+            trace="trace.remote_spans",
+        )
 
     # -- engines -------------------------------------------------------------------
 
@@ -277,6 +286,11 @@ class DistributedScheduler:
     def _retry_pause(self, worker, stage_kind, attempts):
         """The backoff between attempts, reported as a ``retry`` span."""
         backoff = self.retry_policy.backoff_s(attempts)
+        if self.flight is not None:
+            self.flight.record(
+                "sched.retry", worker=worker.worker_id, stage=stage_kind,
+                attempt=attempts + 1, backoff_ms=int(backoff * 1000),
+            )
         with self.tracer.span(
             "retry", kind="retry",
             detail="%s on %s, attempt %d"
@@ -311,7 +325,11 @@ class DistributedScheduler:
                     with self._task_span(worker) as span:
                         if attempts > 1:
                             span.inc("task.retry_attempt")
-                        outcome = worker.dispatch(payload)
+                        try:
+                            outcome = worker.dispatch(payload)
+                        except WorkerCrashError as crash:
+                            self._graft_crash_evidence(worker, span, crash)
+                            raise
                         if isinstance(outcome, RemoteOutcome):
                             payload.on_result(outcome)
                 finally:
@@ -358,7 +376,11 @@ class DistributedScheduler:
                     with self._task_span(worker) as span:
                         if state["attempts"] > 1:
                             span.inc("task.retry_attempt")
-                        outcome = worker.await_result(state["future"])
+                        try:
+                            outcome = worker.await_result(state["future"])
+                        except WorkerCrashError as crash:
+                            self._graft_crash_evidence(worker, span, crash)
+                            raise
                         if isinstance(outcome, RemoteOutcome):
                             payload.on_result(outcome)
                 finally:
@@ -489,6 +511,10 @@ class DistributedScheduler:
         moved = self.cluster.decommission_worker(
             lost.worker_id, reason=lost.reason
         )
+        if self.flight is not None:
+            self.flight.record("sched.blacklist", worker=lost.worker_id,
+                               reason=str(lost.reason)[:120],
+                               pages_moved=moved)
         # decommission_worker already counted the redistributed pages;
         # the blacklist event span carries only the blacklisting itself.
         with self.tracer.span(
@@ -669,11 +695,18 @@ class DistributedScheduler:
         sink.finish()
 
     def _apply_remote_deltas(self, worker, outcome):
-        """Replay a child's engine-metric and trace-counter deltas.
+        """Replay a child's engine-metric and trace-counter deltas, and
+        graft its span batch into the job tree.
 
         Applied inside the worker's task span, so trace attribution
         matches the inline path; the engine's bound registry mirrors the
-        metric deltas into ``pc_engine_*`` automatically.
+        metric deltas into ``pc_engine_*`` automatically.  Span
+        timestamps arrive relative to ``outcome.span_base`` on the
+        child's clock; ``span_base + clock_offset`` shifts the whole
+        batch into the coordinator's ``time.monotonic()`` frame (DESIGN
+        §14), after which the remote root becomes a child of the open
+        task span.  Flight-recorder events the child shipped attach to
+        its root span.
         """
         engine = self.engine_for(worker)
         for field, delta in outcome.metrics.items():
@@ -692,6 +725,57 @@ class DistributedScheduler:
                 self.profiler.op_columnar_rows.child(
                     operator=operator
                 ).inc(value)
+        self._graft_remote_spans(outcome)
+
+    def _graft_crash_evidence(self, worker, span, crash):
+        """Preserve what a crashed remote attempt managed to produce.
+
+        The transport attaches a ``remote_outcome`` to the crash when it
+        has evidence — the error envelope's pre-exception deltas and
+        truncated spans, or the synthesized span + flight-ring dump of a
+        child that died without answering.  Replayed inside the still-
+        open task span (the caller re-raises right after), so retries
+        never lose the attempt's counters and the trace shows what the
+        worker was doing when it died.
+        """
+        if isinstance(span, Span):  # a disabled tracer yields a null span
+            span.truncated = True
+        outcome = getattr(crash, "remote_outcome", None)
+        if outcome is None:
+            return
+        self._apply_remote_deltas(worker, outcome)
+
+    def _graft_remote_spans(self, outcome):
+        """Attach a remote span batch under the currently open span."""
+        parent = self.tracer.active
+        if parent is None or not outcome.spans:
+            return
+        shift_s = outcome.span_base + outcome.clock_offset
+        grafted = 0
+        for payload in outcome.spans:
+            try:
+                span = Span.from_dict(payload)
+            except (KeyError, TypeError, ValueError):  # pcsan: disable=PC005
+                # Malformed span batch (torn by a dying child): the
+                # counters already landed above, only the tree is lost.
+                self.tracer.add("trace.span_graft_failures")
+                continue
+            span.shift(shift_s)
+            span.parent_id = parent.span_id
+            if span.pid is None:
+                span.pid = outcome.pid
+            parent.children.append(span)
+            grafted += sum(1 for _ in span.walk())
+        if grafted:
+            self._c_remote_spans.inc(grafted)
+            error_s = outcome.clock_error_s
+            if error_s == error_s and error_s not in (float("inf"),):
+                # Finite calibration error only: an uncalibrated child
+                # (inf bound) would poison the span's JSON encoding.
+                parent.counters["trace.clock_error_s"] = max(
+                    parent.counters.get("trace.clock_error_s", 0.0),
+                    error_s,
+                )
 
     def _remote_task(self, worker, stages, source_builder, sink_spec,
                      run_inline, install, label=""):
@@ -734,6 +818,7 @@ class DistributedScheduler:
             self._apply_remote_deltas(worker, outcome)
             install(outcome.result)
 
+        active = self.tracer.active
         spec = {
             "program": self.program,
             "build_sides": dict(self.plan.build_sides),
@@ -742,6 +827,15 @@ class DistributedScheduler:
             "source": source,
             "sink": sink_spec,
             "hash_tables": tables,
+            # Trace context (DESIGN §14): the child's task span adopts
+            # this job's trace id and hangs off the span open at build
+            # time (the stage span; grafting re-parents onto the task
+            # span the coordinator opens around the dispatch).
+            "trace_ctx": {
+                "trace_id": self.tracer.trace_id,
+                "parent_span_id": active.span_id if active is not None
+                else None,
+            },
             # The master registry is authoritative and its codes are
             # cluster-consistent (local catalogs mirror them on their
             # simulated .so fetches); the worker-local registry may not

@@ -112,7 +112,8 @@ class Supervisor:
 
     def __init__(self, metrics=None, beat_interval_s=None,
                  suspect_beats=None, dead_after_s=None,
-                 spawn_grace_s=None, clock=time.monotonic, kill=None):
+                 spawn_grace_s=None, clock=time.monotonic, kill=None,
+                 recorder=None):
         self.beat_interval_s = (
             beat_interval_s if beat_interval_s is not None
             else _env_float("PC_SUP_BEAT_S", DEFAULT_BEAT_INTERVAL_S)
@@ -137,6 +138,8 @@ class Supervisor:
         self._watched = {}  # worker_id -> _ChildProcess
         self._states = {}  # worker_id -> ALIVE/SUSPECT/DEAD
         self._seen_beats = {}  # worker_id -> last observed beat seq
+        #: optional flight recorder; verdicts and kills leave events.
+        self.recorder = recorder
         self.metrics = metrics
         if metrics is not None:
             self._c_beats = metrics.counter(
@@ -165,10 +168,18 @@ class Supervisor:
                      "back-end death",
                 trace="sup.recovery_s",
             )
+            self._g_rows = metrics.gauge(
+                "pc_sup_rows_consumed",
+                help="Rows consumed by each worker's current task, as "
+                     "published in its heartbeat slot",
+                labelnames=("worker",),
+                trace="sup.rows_consumed",
+            )
         else:
             self._c_beats = self._c_suspects = None
             self._c_deaths = self._c_deadline_kills = None
             self._h_recovery = None
+            self._g_rows = None
 
     @staticmethod
     def _sigkill(pid):
@@ -241,6 +252,8 @@ class Supervisor:
             state = SUSPECT
         else:
             state = ALIVE
+        if self._g_rows is not None:
+            self._g_rows.set(int(slot[BEAT_ROWS]), worker=worker_id)
         previous = self._states.get(worker_id, ALIVE)
         if state != previous:
             if state is SUSPECT and self._c_suspects is not None:
@@ -248,6 +261,12 @@ class Supervisor:
             if state is DEAD and self._c_deaths is not None:
                 self._c_deaths.inc()
             self._states[worker_id] = state
+            if self.recorder is not None:
+                self.recorder.record(
+                    "sup.state", worker=worker_id, state=state,
+                    was=previous, staleness_s=round(staleness, 4),
+                    child_pid=child.pid,
+                )
         return WorkerVitals(
             worker_id, state, staleness, beats, int(slot[BEAT_PID]),
             int(slot[BEAT_TASK]), int(slot[BEAT_ROWS]),
@@ -271,6 +290,11 @@ class Supervisor:
         if deadline is not None and self.clock() >= deadline:
             if self._c_deadline_kills is not None:
                 self._c_deadline_kills.inc()
+            if self.recorder is not None:
+                self.recorder.record(
+                    "sup.deadline_kill", worker=worker_id,
+                    child_pid=child.pid, timeout_s=timeout_s,
+                )
             self._kill(child.pid)
             return (
                 "task overran its %s wall-clock deadline; back-end "

@@ -37,6 +37,8 @@ import zlib
 from collections import defaultdict
 
 from repro.cluster.supervisor import (
+    BEAT_ROWS,
+    BEAT_TIME,
     DEFAULT_BEAT_INTERVAL_S,
     HEARTBEAT_FIELDS,
     Supervisor,
@@ -51,6 +53,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.events import RING_BYTES, read_ring
 from repro.storage.replication import corrupt_bytes, page_checksum
 
 try:  # optional: only the process transport's task path needs it
@@ -109,10 +112,12 @@ class Transport:
     page_residency = "mem"
 
     def __init__(self, tracer=None, fault_injector=None, retry_policy=None,
-                 metrics=None):
+                 metrics=None, recorder=None):
         self.tracer = tracer or Tracer()
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy
+        #: optional flight recorder (page ships et al. leave events).
+        self.recorder = recorder
         # All accounting lives in the metrics registry; each counter
         # declares its trace-mirror name once, so the trace counters,
         # the Prometheus series, and stats() cannot drift apart.
@@ -280,6 +285,9 @@ class Transport:
         integrity checks (spill reload, replicated reads) catch it.
         """
         nbytes = len(data)
+        if self.recorder is not None:
+            self.recorder.record("net.page_ship", src=src, dst=dst,
+                                 bytes=nbytes)
         attempts = 0
         while True:
             verdict = self._deliver(src, dst, nbytes, self._c_bytes_zero_copy)
@@ -407,14 +415,48 @@ class RemoteTask:
 
 
 class RemoteOutcome:
-    """What a completed remote task hands back to the coordinator."""
+    """What a completed remote task hands back to the coordinator.
 
-    def __init__(self, result, metrics, trace_counts):
+    Beyond the result and counter deltas, it carries the child's span
+    batch (serialized :meth:`Span.to_dict` trees, timestamps relative to
+    ``span_base`` on the *child's* ``time.monotonic()`` clock), the
+    flight-recorder events of the task, and the clock calibration
+    (``clock_offset`` such that master ≈ child + offset, accurate to
+    ``clock_error_s``) the coordinator needs to graft the spans into the
+    job tree.  Error and death envelopes build one too (``result=None``)
+    so partial evidence takes the same grafting path.
+    """
+
+    def __init__(self, result, metrics, trace_counts, spans=(),
+                 span_base=0.0, events=(), clock_offset=0.0,
+                 clock_error_s=0.0, pid=None):
         self.result = result
         #: EngineMetrics field deltas accumulated by the child's engine.
         self.metrics = metrics
         #: tracer counter deltas (``engine.batches`` etc.) from the child.
         self.trace_counts = trace_counts
+        self.spans = list(spans or ())
+        self.span_base = span_base
+        self.events = list(events or ())
+        self.clock_offset = clock_offset
+        self.clock_error_s = clock_error_s
+        self.pid = pid
+
+    @classmethod
+    def from_deltas(cls, deltas, result=None, clock_offset=0.0,
+                    clock_error_s=0.0):
+        """Build from a child's shipped ``deltas`` dict (ok or error leg)."""
+        return cls(
+            result,
+            deltas.get("metrics") or {},
+            deltas.get("trace") or {},
+            spans=deltas.get("spans"),
+            span_base=deltas.get("span_base", 0.0),
+            events=deltas.get("events"),
+            clock_offset=clock_offset,
+            clock_error_s=clock_error_s,
+            pid=deltas.get("pid"),
+        )
 
 
 class _PendingFuture:
@@ -469,8 +511,10 @@ class _PendingFuture:
                     "%r: %s" % (worker_id, exc)
                 )
                 raise self._error from exc
-            self._value = RemoteOutcome(
-                result, deltas["metrics"], deltas["trace"]
+            offset, error_s = self._child.calibrate_clock()
+            self._value = RemoteOutcome.from_deltas(
+                deltas, result=result, clock_offset=offset,
+                clock_error_s=error_s,
             )
             return self._value
         if status == "reject":
@@ -486,6 +530,28 @@ class _PendingFuture:
                 raise
             return self._value
         self._backend.crashed = True
+        if status == "error":
+            # A Python-level failure inside the child: the envelope is a
+            # dict carrying the traceback plus the deltas the task
+            # accumulated before it blew up (spans marked truncated), so
+            # retries keep the attempt's counters.  Legacy string
+            # payloads (a pooled pre-upgrade child) degrade gracefully.
+            if isinstance(payload, dict):
+                message = payload.get("traceback", "")
+                deltas = payload.get("deltas")
+            else:
+                message, deltas = payload, None
+            self._error = WorkerCrashError(
+                "back-end process of worker %r died: %s"
+                % (worker_id, message)
+            )
+            if deltas:
+                offset, error_s = self._child.calibrate_clock()
+                self._error.remote_outcome = RemoteOutcome.from_deltas(
+                    deltas, clock_offset=offset, clock_error_s=error_s,
+                )
+            self._error.detected_at = time.monotonic()
+            raise self._error
         verdict = self._child.kill_verdicts.pop(self._task_id, None)
         if verdict is not None and verdict[1]:
             self._error = TaskDeadlineError(
@@ -502,6 +568,9 @@ class _PendingFuture:
                 "back-end process of worker %r died: %s"
                 % (worker_id, payload)
             )
+        outcome = self._child.post_mortem_outcome(self._task_id)
+        if outcome is not None:
+            self._error.remote_outcome = outcome
         # When the death was detected, for recovery-latency accounting
         # (WorkerNode.await_result observes now -> post-re-fork).
         self._error.detected_at = time.monotonic()
@@ -527,6 +596,10 @@ class _ChildProcess:
         self.heartbeat = ctx.Array(
             "d", HEARTBEAT_FIELDS, lock=False
         )
+        # The child's flight-recorder ring: fixed-width JSON records in
+        # shared memory, single-writer (the child), readable by the
+        # master post-mortem after a SIGKILL.
+        self.flight = ctx.Array("c", RING_BYTES, lock=False)
         self.beat_interval_s = _env_float(
             "PC_SUP_BEAT_S", DEFAULT_BEAT_INTERVAL_S
         )
@@ -534,16 +607,22 @@ class _ChildProcess:
         self._proc = ctx.Process(
             target=backend_main,
             args=(self._tasks, self._results, self.heartbeat,
-                  self.beat_interval_s),
+                  self.beat_interval_s, self.flight),
             daemon=True,
         )
         self._proc.start()
         self._task_ids = itertools.count(1)
         self._arrived = {}
         self._outstanding = set()
+        #: task_id -> submit instant (master clock), for synthesizing a
+        #: truncated task span when the child dies without an envelope.
+        self.submit_times = {}
         #: task_id -> (reason, deadline_exceeded) for supervisor kills,
         #: consumed by _PendingFuture to type the resulting error.
         self.kill_verdicts = {}
+        #: lazily calibrated clock translation (master ≈ child + offset).
+        self.clock_offset = None
+        self.clock_error_s = None
         self.broken = False
 
     @property
@@ -558,9 +637,87 @@ class _ChildProcess:
 
     def submit(self, task, backend):
         task_id = next(self._task_ids)
+        self.submit_times[task_id] = time.monotonic()
         self._tasks.put((task_id, task.blob))
         self._outstanding.add(task_id)
         return _PendingFuture(self, backend, task, task_id)
+
+    def calibrate_clock(self):
+        """Estimate the child→master ``time.monotonic()`` offset.
+
+        Each heartbeat publishes the child's monotonic clock at beat
+        time; a master-side sample ``now - BEAT_TIME`` therefore equals
+        ``offset + staleness`` with staleness in ``[0, beat interval]``.
+        Sampling across at least one beat period and keeping the minimum
+        bounds the estimate's error by the beat interval — the handshake
+        DESIGN §14 promises.  Calibrated once per child (children are
+        pooled), lazily, on first use.  A child that never beat (or died
+        first) yields offset 0 with an infinite error bound; on Linux
+        both processes read the same CLOCK_MONOTONIC, so 0 is in fact
+        the right translation.
+        """
+        if self.clock_offset is not None:
+            return self.clock_offset, self.clock_error_s
+        interval = self.beat_interval_s
+        best = None
+        horizon = time.monotonic() + 1.25 * interval
+        while time.monotonic() < horizon:
+            beat_time = self.heartbeat[BEAT_TIME]
+            if beat_time:
+                sample = time.monotonic() - beat_time
+                if best is None or sample < best:
+                    best = sample
+            if not self._proc.is_alive():
+                break
+            time.sleep(min(interval / 8.0, 0.01))
+        if best is None:
+            self.clock_offset, self.clock_error_s = 0.0, float("inf")
+        else:
+            self.clock_offset, self.clock_error_s = best, interval
+        return self.clock_offset, self.clock_error_s
+
+    def post_mortem_outcome(self, task_id):
+        """Synthesize the evidence for a task whose child never answered.
+
+        A SIGKILLed child ships nothing, but the master still has the
+        heartbeat slot (rows consumed), the shared flight ring (last-N
+        events, readable post-mortem), and its own submit instant — so
+        the coordinator can graft a ``truncated`` task span covering
+        submit → detection rather than leaving a hole in the trace.
+        Timestamps are assembled directly in the master's clock frame:
+        ``span_base`` is the submit instant and ``clock_offset`` is 0.
+        """
+        submitted = self.submit_times.get(task_id)
+        if submitted is None:
+            return None
+        now = time.monotonic()
+        offset = self.clock_offset or 0.0
+        events = []
+        for event in read_ring(self.flight):
+            ts = event.get("ts", 0.0) + offset
+            if ts >= submitted - self.beat_interval_s:
+                events.append(dict(event, ts=ts - submitted))
+        span = {
+            "name": "task-%d" % task_id,
+            "kind": "task",
+            "detail": "synthesized by the coordinator: the back-end died "
+                      "without delivering",
+            "start_s": 0.0,
+            "duration_s": now - submitted,
+            "counters": {"sup.rows_consumed": int(self.heartbeat[BEAT_ROWS])},
+            "children": [],
+            "pid": self.pid,
+            "truncated": True,
+        }
+        if events:
+            span["events"] = events
+        return RemoteOutcome(
+            None, {}, {}, spans=[span], span_base=submitted,
+            events=events, clock_offset=0.0,
+            clock_error_s=self.clock_error_s
+            if self.clock_error_s is not None else float("inf"),
+            pid=self.pid,
+        )
 
     def _pull_result(self, timeout):
         """One queue read; True if a result was installed, False if not.
@@ -739,11 +896,13 @@ class ProcessTransport(Transport):
     page_residency = "shm"
 
     def __init__(self, tracer=None, fault_injector=None, retry_policy=None,
-                 metrics=None):
+                 metrics=None, recorder=None):
         super().__init__(tracer=tracer, fault_injector=fault_injector,
-                         retry_policy=retry_policy, metrics=metrics)
+                         retry_policy=retry_policy, metrics=metrics,
+                         recorder=recorder)
         #: liveness + deadline authority over this transport's children.
-        self.supervisor = Supervisor(metrics=self.metrics)
+        self.supervisor = Supervisor(metrics=self.metrics,
+                                     recorder=recorder)
         self._leased = []
         self._finalizer = weakref.finalize(
             self, _release_leased, self._leased

@@ -199,6 +199,12 @@ class WorkerNode:
         else:
             self.backend = BackendProcess(self)
         self._c_reforks.inc()
+        recorder = getattr(self.transport, "recorder", None)
+        if recorder is not None:
+            recorder.record(
+                "worker.refork", worker=self.worker_id,
+                child_pid=getattr(self.backend, "child_pid", None),
+            )
 
     def __repr__(self):
         return "<WorkerNode %s>" % self.worker_id

@@ -1,5 +1,6 @@
 """Observability: job traces, typed metrics, profiling, and exposition."""
 
+from repro.obs.events import FlightRecorder, read_ring
 from repro.obs.export import (
     HealthCheck,
     HealthStatus,
@@ -17,10 +18,18 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import StageProfiler
 from repro.obs.report import render_trace
+from repro.obs.timeline import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.top import ClusterTop
 from repro.obs.tracer import Span, Trace, Tracer
 
 __all__ = [
+    "ClusterTop",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "HealthCheck",
     "HealthStatus",
@@ -32,8 +41,12 @@ __all__ = [
     "Trace",
     "Tracer",
     "exponential_buckets",
+    "read_ring",
     "render_metrics",
     "render_trace",
+    "to_chrome_trace",
     "to_json",
     "to_prometheus",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,129 @@
+"""The flight recorder: a bounded ring of structured runtime events.
+
+A distributed trace explains *where time went*; it cannot explain what
+the runtime was doing in the moments before a worker died, because the
+spans that would say so died with the process.  The flight recorder is
+the black box for that gap (DESIGN §14): a fixed-capacity ring of tiny
+structured events — task dispatch/complete, page ship, quarantine/heal,
+re-fork, deadline kill, chaos signal — kept on the master and on every
+back-end child, and dumped into the trace only when a job fails or a
+worker dies.  Memory is constant by construction: ``capacity`` events of
+at most :data:`RECORD_SLOT_BYTES` encoded bytes each.
+
+Two forms share one class:
+
+* **In-process** (the master): a plain ``deque(maxlen=capacity)``.
+* **Shared** (each child): the same deque, *plus* every record is
+  serialized into a fixed-width slot of a shared byte array the parent
+  allocated — so when the child is SIGKILLed mid-task, the master still
+  reads the child's last-N events post-mortem with :func:`read_ring`.
+  The child is the only writer and each record fits one slot, so the
+  ring needs no lock; a torn read decodes as garbage JSON and is simply
+  skipped (the adjacent records survive).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+
+#: Fixed slot width of the shared ring; one encoded event per slot.
+RECORD_SLOT_BYTES = 256
+#: Default ring capacity (events). 64 slots * 256 B = 16 KiB per child.
+DEFAULT_CAPACITY = 64
+
+#: Shared-ring byte size for the default capacity (what the parent
+#: allocates per child process).
+RING_BYTES = DEFAULT_CAPACITY * RECORD_SLOT_BYTES
+
+
+class FlightRecorder:
+    """Bounded ring of structured events; optionally mirrored to shm.
+
+    ``record(kind, **fields)`` appends one event — a dict carrying at
+    least ``seq`` (monotonic per recorder), ``ts`` (``time.monotonic()``
+    of this process), ``pid``, and ``kind``.  ``buffer`` (optional) is a
+    writable shared byte array (``multiprocessing.Array('c', ...)``)
+    every record is also serialized into, slot ``(seq-1) % slots``.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, buffer=None,
+                 clock=time.monotonic):
+        self._ring = deque(maxlen=capacity)
+        self._clock = clock
+        self._buffer = buffer
+        self._slots = (len(buffer) // RECORD_SLOT_BYTES) if buffer is not None \
+            else 0
+        self.seq = 0
+
+    def record(self, kind, **fields):
+        """Append one event; returns it (callers rarely need the value)."""
+        self.seq += 1
+        event = {"seq": self.seq, "ts": self._clock(), "pid": os.getpid(),
+                 "kind": kind}
+        event.update(fields)
+        self._ring.append(event)
+        if self._slots:
+            self._write_slot(event)
+        return event
+
+    def _write_slot(self, event):
+        data = _encode(event)
+        if data is None:
+            return
+        offset = ((event["seq"] - 1) % self._slots) * RECORD_SLOT_BYTES
+        self._buffer[offset:offset + RECORD_SLOT_BYTES] = data
+
+    def snapshot(self, since_seq=0):
+        """Events still in the ring with ``seq > since_seq``, in order."""
+        return [dict(event) for event in self._ring
+                if event["seq"] > since_seq]
+
+    def __len__(self):
+        return len(self._ring)
+
+
+def _encode(event):
+    """One event as a fixed-width, space-padded JSON record (or None).
+
+    Records that do not fit a slot are retried with their extra fields
+    dropped — the ``seq``/``ts``/``pid``/``kind`` core always fits.
+    """
+    try:
+        data = json.dumps(event, sort_keys=True, default=str).encode("utf-8")
+    except (TypeError, ValueError):
+        data = None
+    if data is None or len(data) > RECORD_SLOT_BYTES:
+        core = {key: event[key] for key in ("seq", "ts", "pid", "kind")
+                if key in event}
+        core["clipped"] = True
+        data = json.dumps(core, sort_keys=True).encode("utf-8")
+        if len(data) > RECORD_SLOT_BYTES:  # pragma: no cover - core is tiny
+            return None
+    return data.ljust(RECORD_SLOT_BYTES, b" ")
+
+
+def read_ring(buffer):
+    """Decode a shared ring written by (another process's) recorder.
+
+    Returns the surviving events sorted by ``seq``.  Empty slots, torn
+    writes, and half-overwritten records fail JSON decoding and are
+    skipped — post-mortem reads want whatever is legible, not perfection.
+    """
+    events = []
+    raw = bytes(buffer[:])
+    for slot in range(len(raw) // RECORD_SLOT_BYTES):
+        chunk = raw[slot * RECORD_SLOT_BYTES:(slot + 1) * RECORD_SLOT_BYTES]
+        chunk = chunk.rstrip(b"\x00 ")
+        if not chunk:
+            continue
+        try:
+            event = json.loads(chunk.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            continue  # torn write; neighbors are still legible
+        if isinstance(event, dict) and "seq" in event:
+            events.append(event)
+    events.sort(key=lambda event: event["seq"])
+    return events

@@ -169,6 +169,27 @@ class Gauge(_Metric):
 
     def set(self, value, **labels):
         self._values[self._key(labels)] = value
+        self._mirror_set(value, labels)
+
+    def _mirror_set(self, value, labels):
+        """Last-write-wins mirror into the active span.
+
+        Counters *add* into their trace mirror; a gauge is a level, so
+        each set overwrites the span counter instead — the span keeps
+        the value the gauge had when the span closed.
+        """
+        if self.trace_name is None or self._registry is None:
+            return
+        tracer = self._registry.tracer
+        if tracer is None:
+            return
+        span = tracer.active
+        if span is None:
+            return
+        name = self.trace_name
+        if labels and "{" in name:
+            name = name.format(**labels)
+        span.counters[name] = value
 
     def inc(self, amount=1, **labels):
         key = self._key(labels)

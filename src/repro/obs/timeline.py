@@ -1,0 +1,183 @@
+"""Cluster timeline export: merged traces as Chrome Trace Event JSON.
+
+A distributed trace (DESIGN §14) is a tree; a timeline is how humans
+read one.  :func:`to_chrome_trace` renders a :class:`~repro.obs.Trace`
+into the Chrome Trace Event format — the JSON dialect both
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) load
+directly — with one *process track per worker pid* plus a coordinator
+track (pid 0) carrying the scheduler's own spans and its instants:
+re-forks, SUSPECT/DEAD verdicts, retry/backoff decisions, blacklists.
+
+Layout decisions:
+
+* Tree spans (``job``/``phase``/``stage``/``task``/``op``) become
+  ``B``/``E`` duration pairs.  A span records on the track of the pid it
+  ran in (``span.pid``), defaulting to the coordinator track.
+* Remote ``op`` spans are *coalesced* per operator per task (one span
+  covering every batch), so two ops of one task overlap in time; Chrome
+  requires strict nesting within a (pid, tid) lane, so each op name gets
+  its own tid lane under the worker's pid.
+* Instant kinds (``event``/``fault``/``retry``) and flight-recorder
+  events attached to spans become ``i`` instants with process scope.
+* ``M`` metadata events name the tracks, so Perfetto shows
+  ``coordinator`` / ``worker pid 12345`` instead of bare numbers.
+
+Timestamps are microseconds relative to the root span's start — clock
+alignment already happened when the coordinator grafted remote spans,
+so here every span is in one time base.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Synthetic pid of the coordinator track (real pids are never 0).
+COORDINATOR_PID = 0
+#: Main lane of each track; op spans get lanes above this.
+MAIN_TID = 1
+
+#: Span kinds rendered as instants ("i") rather than duration pairs:
+#: they are point-in-time facts recorded via ``Tracer.event``.
+INSTANT_KINDS = ("event", "fault", "retry")
+
+
+def to_chrome_trace(trace):
+    """Render a merged trace as a Chrome Trace Event JSON object.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``; dump it
+    with ``json.dumps`` (or use :func:`write_chrome_trace`) and load the
+    file in chrome://tracing or Perfetto.
+    """
+    root = trace.root
+    t0 = root.start
+    events = []
+    tracks = set()
+    op_lanes = {}  # (pid, op name) -> tid
+
+    def lane_for(span, track_pid):
+        if span.kind != "op":
+            return MAIN_TID
+        key = (track_pid, span.name)
+        if key not in op_lanes:
+            op_lanes[key] = MAIN_TID + 1 + sum(
+                1 for pid, _ in op_lanes if pid == track_pid
+            )
+        return op_lanes[key]
+
+    def emit(span):
+        track_pid = span.pid if span.pid is not None else COORDINATOR_PID
+        tracks.add(track_pid)
+        tid = lane_for(span, track_pid)
+        ts = (span.start - t0) * 1e6
+        args = {"counters": dict(span.counters)}
+        if span.detail:
+            args["detail"] = span.detail
+        if span.truncated:
+            args["truncated"] = True
+        name = "%s:%s" % (span.kind, span.name)
+        if span.kind in INSTANT_KINDS:
+            events.append({"ph": "i", "name": name, "ts": ts, "s": "p",
+                           "pid": track_pid, "tid": tid, "args": args})
+        else:
+            end_ts = ts + span.duration_s * 1e6
+            events.append({"ph": "B", "name": name, "ts": ts,
+                           "pid": track_pid, "tid": tid, "args": args})
+            for child in span.children:
+                emit(child)
+            events.append({"ph": "E", "name": name, "ts": end_ts,
+                           "pid": track_pid, "tid": tid})
+            for record in span.events:
+                events.append({
+                    "ph": "i", "name": "flight:%s" % record.get("kind", "?"),
+                    "ts": (record.get("ts", span.start) - t0) * 1e6,
+                    "s": "p", "pid": track_pid, "tid": tid,
+                    "args": {key: value for key, value in record.items()
+                             if key not in ("ts",)},
+                })
+            return
+        for child in span.children:
+            emit(child)
+
+    emit(root)
+
+    # Stable sort keeps generation order on ties, so a parent's B stays
+    # before its child's B and a child's E before its parent's E even
+    # when the timestamps are equal — the nesting Chrome requires.
+    events.sort(key=lambda event: event["ts"])
+
+    meta = []
+    for pid in sorted(tracks):
+        label = ("coordinator" if pid == COORDINATOR_PID
+                 else "worker pid %d" % pid)
+        meta.append({"ph": "M", "name": "process_name", "pid": pid,
+                     "tid": MAIN_TID, "args": {"name": label}})
+    for (pid, op_name), tid in sorted(op_lanes.items(),
+                                      key=lambda item: (item[0][0], item[1])):
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid,
+                     "tid": tid, "args": {"name": "op %s" % op_name}})
+
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace, path):
+    """Export ``trace`` to a chrome://tracing-loadable JSON file."""
+    payload = to_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return payload
+
+
+def validate_chrome_trace(payload):
+    """Check a trace-event payload is loadable; returns problem strings.
+
+    Enforces what chrome://tracing actually needs: required keys per
+    phase, instants carrying a scope, timestamps in non-decreasing order
+    (metadata aside), and — per (pid, tid) lane — strictly matched and
+    properly nested ``B``/``E`` pairs.  An empty list means valid; CI
+    asserts exactly that on the TPC-H acceptance trace.
+    """
+    problems = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["payload is not a dict with a traceEvents list"]
+    stacks = {}  # (pid, tid) -> [names]
+    last_ts = None
+    for index, event in enumerate(payload["traceEvents"]):
+        where = "event %d" % index
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append("%s: missing %r" % (where, key))
+        if phase not in ("B", "E", "i"):
+            problems.append("%s: unsupported phase %r" % (where, phase))
+            continue
+        ts = event.get("ts")
+        if last_ts is not None and ts is not None and ts < last_ts:
+            problems.append("%s: ts %.3f out of order (< %.3f)"
+                            % (where, ts, last_ts))
+        if ts is not None:
+            last_ts = ts
+        lane = (event.get("pid"), event.get("tid"))
+        if phase == "B":
+            stacks.setdefault(lane, []).append(event.get("name"))
+        elif phase == "E":
+            stack = stacks.setdefault(lane, [])
+            if not stack:
+                problems.append("%s: E with no open B on lane %r"
+                                % (where, lane))
+            elif stack[-1] != event.get("name"):
+                problems.append("%s: E %r does not match open B %r"
+                                % (where, event.get("name"), stack[-1]))
+            else:
+                stack.pop()
+        elif phase == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append("%s: instant without a valid scope" % where)
+    for lane, stack in stacks.items():
+        if stack:
+            problems.append("lane %r left %d span(s) open: %r"
+                            % (lane, len(stack), stack))
+    return problems

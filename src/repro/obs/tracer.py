@@ -17,42 +17,82 @@ outside a job costs one dictionary miss per event.
 A finished top-level span becomes a :class:`Trace` (``tracer.last_trace``,
 surfaced as ``PCCluster.last_trace``) that serializes with
 :meth:`Trace.to_json` — the format written by ``BENCH_trace.json`` and
-documented in README.md's Observability section.
+documented in README.md's Observability section.  The last few completed
+traces stay reachable through a small ring (``Tracer.recent_traces``,
+surfaced as ``PCCluster.traces``), so back-to-back jobs do not clobber
+each other's evidence.
+
+Since PR 9 the trace layer is *distributed* (DESIGN §14): spans carry a
+``pid`` and ``time.monotonic()`` timestamps, back-end processes run
+their own :class:`Tracer` whose finished span batches ship back in the
+result envelope, and the coordinator grafts them (clock-aligned) into
+the job tree.  A span cut short by a worker death is marked
+``truncated`` — it is evidence, not an error.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import time
+from collections import deque
 from contextlib import contextmanager
+
+#: process-local span identity; unique per (pid, span_id) pair.
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+#: completed traces kept reachable per tracer (PCCluster.traces(n)).
+TRACE_RING_SIZE = 16
 
 
 class Span:
     """One timed node of a trace tree.
 
     ``kind`` classifies the span (``job``, ``phase``, ``stage``,
-    ``task``); ``name`` identifies it within its kind (a stage kind, a
-    worker id); ``detail`` is free-form human text.  ``counters`` holds
-    only what was reported *directly* into this span; :meth:`totals`
-    rolls descendants up.
+    ``task``, ``op`` for remote operators); ``name`` identifies it
+    within its kind (a stage kind, a worker id); ``detail`` is free-form
+    human text.  ``counters`` holds only what was reported *directly*
+    into this span; :meth:`totals` rolls descendants up.
+
+    Timestamps are ``time.monotonic()`` — the same clock the heartbeat
+    slot publishes, so spans recorded in a back-end process can be
+    shifted into the coordinator's frame by one per-child offset.
+    ``pid`` is set on spans recorded in (or synthesized for) a back-end
+    process; ``truncated`` marks a span closed by a crash or kill rather
+    than completion; ``events`` carries flight-recorder dumps attached
+    to this span (each a dict with at least ``ts`` and ``kind``).
     """
 
     __slots__ = ("name", "kind", "detail", "start", "end", "counters",
-                 "children")
+                 "children", "span_id", "parent_id", "pid", "truncated",
+                 "events", "_duration")
 
     def __init__(self, name, kind="span", detail=None):
         self.name = name
         self.kind = kind
         self.detail = detail
-        self.start = time.perf_counter()
+        self.start = time.monotonic()
         self.end = None
         self.counters = {}
         self.children = []
+        self.span_id = next(_span_ids)
+        self.parent_id = None
+        self.pid = None
+        self.truncated = False
+        self.events = []
+        # Deserialized spans pin their duration so round-tripping is a
+        # fixed point: start + duration - start loses the last float bit,
+        # and to_json is asserted bit-identical across a round trip.
+        self._duration = None
 
     @property
     def duration_s(self):
         """Wall-clock seconds; live spans report time-so-far."""
-        end = self.end if self.end is not None else time.perf_counter()
+        if self._duration is not None:
+            return self._duration
+        end = self.end if self.end is not None else time.monotonic()
         return end - self.start
 
     def inc(self, counter, value=1):
@@ -73,32 +113,78 @@ class Span:
         for child in self.children:
             yield from child.walk()
 
-    def to_dict(self):
-        """JSON-ready representation (recursive)."""
-        return {
+    def shift(self, delta_s):
+        """Shift this subtree's timestamps (and event times) by a delta.
+
+        The coordinator uses this to move a remote span batch from the
+        child's ``time.monotonic()`` frame into its own, after the
+        heartbeat clock-offset handshake estimated ``delta_s``.
+        """
+        for span in self.walk():
+            span.start += delta_s
+            if span.end is not None:
+                span.end += delta_s
+            for event in span.events:
+                event["ts"] = event.get("ts", 0.0) + delta_s
+        return self
+
+    def to_dict(self, t0=None):
+        """JSON-ready representation (recursive).
+
+        Timestamps serialize *relative to the root's start* (``start_s``
+        offsets), so a trace is position-independent: two processes'
+        monotonic bases never leak into the JSON, and a deserialized
+        trace is anchored at 0.  Optional facts (``pid``, ``truncated``,
+        ``parent_id``, ``events``) appear only when set, keeping the
+        format stable for traces that never crossed a process boundary.
+        """
+        if t0 is None:
+            t0 = self.start
+        payload = {
             "name": self.name,
             "kind": self.kind,
             "detail": self.detail,
+            "span_id": self.span_id,
+            "start_s": round(self.start - t0, 9),
             "duration_s": round(self.duration_s, 9),
             "counters": dict(self.counters),
             "totals": self.totals(),
-            "children": [child.to_dict() for child in self.children],
+            "children": [child.to_dict(t0) for child in self.children],
         }
+        if self.pid is not None:
+            payload["pid"] = self.pid
+        if self.truncated:
+            payload["truncated"] = True
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.events:
+            payload["events"] = [
+                dict(event, ts=round(event.get("ts", 0.0) - t0, 9))
+                for event in self.events
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload):
         """Rebuild a span (and its subtree) from :meth:`to_dict` output.
 
-        The reconstructed span carries the serialized duration (anchored
-        at ``start = 0``), counters, and children; derived quantities
-        (``totals``) recompute identically, so a trace round-trips
-        through JSON bit-for-bit.
+        The reconstructed tree is anchored at the root's ``start = 0``
+        with every descendant at its serialized relative offset; derived
+        quantities (``totals``) recompute identically, so a trace
+        round-trips through JSON bit-for-bit.
         """
         span = cls(payload["name"], kind=payload.get("kind", "span"),
                    detail=payload.get("detail"))
-        span.start = 0.0
-        span.end = payload.get("duration_s", 0.0)
+        span.start = payload.get("start_s", 0.0)
+        span._duration = payload.get("duration_s", 0.0)
+        span.end = span.start + span._duration
         span.counters = dict(payload.get("counters", {}))
+        if "span_id" in payload:
+            span.span_id = payload["span_id"]
+        span.pid = payload.get("pid")
+        span.truncated = bool(payload.get("truncated", False))
+        span.parent_id = payload.get("parent_id")
+        span.events = [dict(event) for event in payload.get("events", [])]
         span.children = [
             cls.from_dict(child) for child in payload.get("children", [])
         ]
@@ -144,13 +230,46 @@ class Trace:
         return cls.from_dict(json.loads(text))
 
 
-class Tracer:
-    """Stack of open spans; the innermost one receives counters."""
+class _NullSpan:
+    """The span handed out by a disabled tracer: accepts, records nothing."""
 
-    def __init__(self):
+    __slots__ = ()
+    name = kind = detail = None
+    start = 0.0
+    end = 0.0
+    duration_s = 0.0
+    counters = {}
+    children = ()
+    events = ()
+    span_id = parent_id = pid = None
+    truncated = False
+
+    def inc(self, counter, value=1):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Stack of open spans; the innermost one receives counters.
+
+    ``enabled=False`` turns the tracer into a sink: :meth:`span` yields
+    a shared null span, :meth:`add` no-ops (the stack stays empty), and
+    no trace is ever built — the zero-overhead baseline the tracing
+    overhead budget in ``BENCH_trace.json`` is measured against.
+    """
+
+    def __init__(self, enabled=True):
         self._stack = []
+        self.enabled = enabled
         #: the :class:`Trace` of the most recently closed top-level span.
         self.last_trace = None
+        #: ring of the last few completed traces, oldest first.
+        self.trace_ring = deque(maxlen=TRACE_RING_SIZE)
+        #: identifies the current (or most recent) top-level span's
+        #: trace; propagated to back-end processes inside task specs.
+        self.trace_id = None
 
     @property
     def active(self):
@@ -160,17 +279,55 @@ class Tracer:
     @contextmanager
     def span(self, name, kind="span", detail=None):
         """Open a child span of the current one for the with-block."""
+        if not self.enabled:
+            yield _NULL_SPAN
+            return
         span = Span(name, kind=kind, detail=detail)
         if self._stack:
-            self._stack[-1].children.append(span)
+            parent = self._stack[-1]
+            parent.children.append(span)
+            span.parent_id = parent.span_id
+        else:
+            self.trace_id = "t%d-%d" % (os.getpid(), next(_trace_ids))
         self._stack.append(span)
         try:
             yield span
         finally:
-            span.end = time.perf_counter()
-            self._stack.pop()
-            if not self._stack:
-                self.last_trace = Trace(span)
+            # abandon() may have force-closed this span already (crash
+            # path); its end timestamp and truncated mark then stand.
+            if self._stack and self._stack[-1] is span:
+                span.end = time.monotonic()
+                self._stack.pop()
+                if not self._stack:
+                    self.last_trace = Trace(span)
+                    self.trace_ring.append(self.last_trace)
+
+    def recent_traces(self, n=1):
+        """The last ``n`` completed traces, most recent first."""
+        ring = self.trace_ring
+        if n <= 0:
+            return []
+        return [ring[-i] for i in range(1, min(n, len(ring)) + 1)]
+
+    def abandon(self, truncated=True):
+        """Force-close every open span (crash path in a back-end process).
+
+        The spans get real end timestamps and, by default, the
+        ``truncated`` mark; the bottom span's :class:`Trace` is returned
+        (and becomes ``last_trace``) so partial evidence can ship in an
+        error envelope.  No-op returning None when nothing is open.
+        """
+        if not self._stack:
+            return None
+        now = time.monotonic()
+        bottom = self._stack[0]
+        for span in self._stack:
+            span.end = now
+            span.truncated = truncated
+        del self._stack[:]
+        self.last_trace = Trace(bottom)
+        self.trace_ring.append(self.last_trace)
+        return self.last_trace
 
     def add(self, counter, value=1):
         """Report into the active span; no-op when no span is open."""

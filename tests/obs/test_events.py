@@ -1,0 +1,127 @@
+"""Unit tests for the flight recorder (repro.obs.events)."""
+
+import json
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    RECORD_SLOT_BYTES,
+    RING_BYTES,
+    FlightRecorder,
+    read_ring,
+)
+
+
+def _clock_from(values):
+    it = iter(values)
+    return lambda: next(it)
+
+
+def test_records_carry_seq_ts_pid_and_fields():
+    recorder = FlightRecorder(clock=_clock_from([1.5, 2.5]))
+    first = recorder.record("task.dispatch", task=7, worker="worker-0")
+    second = recorder.record("task.complete", task=7, rows=40)
+    assert first["seq"] == 1 and second["seq"] == 2
+    assert first["ts"] == 1.5 and second["ts"] == 2.5
+    assert first["pid"] == second["pid"] > 0
+    assert first["kind"] == "task.dispatch" and first["worker"] == "worker-0"
+    assert second["rows"] == 40
+    assert len(recorder) == 2
+
+
+def test_ring_is_bounded_and_drops_oldest():
+    recorder = FlightRecorder(capacity=4)
+    for n in range(10):
+        recorder.record("tick", n=n)
+    assert len(recorder) == 4
+    assert recorder.seq == 10
+    kept = recorder.snapshot()
+    assert [event["n"] for event in kept] == [6, 7, 8, 9]
+    assert [event["seq"] for event in kept] == [7, 8, 9, 10]
+
+
+def test_snapshot_since_seq_returns_only_newer_events():
+    recorder = FlightRecorder(capacity=8)
+    for n in range(3):
+        recorder.record("tick", n=n)
+    mark = recorder.seq
+    recorder.record("tick", n=3)
+    recorder.record("tick", n=4)
+    newer = recorder.snapshot(since_seq=mark)
+    assert [event["n"] for event in newer] == [3, 4]
+    # Snapshots are copies: mutating one must not corrupt the ring.
+    newer[0]["n"] = 99
+    assert recorder.snapshot(since_seq=mark)[0]["n"] == 3
+
+
+def test_shared_buffer_round_trips_through_read_ring():
+    buffer = bytearray(RING_BYTES)
+    recorder = FlightRecorder(buffer=buffer)
+    for n in range(5):
+        recorder.record("net.page_ship", n=n, src="worker-0", dst="worker-1")
+    events = read_ring(buffer)
+    assert [event["n"] for event in events] == [0, 1, 2, 3, 4]
+    assert all(event["kind"] == "net.page_ship" for event in events)
+    assert all(event["pid"] > 0 for event in events)
+
+
+def test_shared_buffer_wraps_and_keeps_the_newest_slots():
+    slots = 4
+    buffer = bytearray(slots * RECORD_SLOT_BYTES)
+    recorder = FlightRecorder(capacity=slots, buffer=buffer)
+    for n in range(10):
+        recorder.record("tick", n=n)
+    events = read_ring(buffer)
+    # Ten writes into four slots: the last four survive, seq-ordered.
+    assert [event["n"] for event in events] == [6, 7, 8, 9]
+
+
+def test_read_ring_skips_torn_records():
+    buffer = bytearray(RING_BYTES)
+    recorder = FlightRecorder(buffer=buffer)
+    for n in range(4):
+        recorder.record("tick", n=n)
+    # Tear the second slot mid-record, like a SIGKILL mid-write would.
+    start = RECORD_SLOT_BYTES
+    buffer[start:start + 10] = b'{"seq": 2,'.ljust(10)[:10]
+    buffer[start + 10:start + RECORD_SLOT_BYTES] = \
+        b"\x00" * (RECORD_SLOT_BYTES - 10)
+    events = read_ring(buffer)
+    assert [event["n"] for event in events] == [0, 2, 3]
+
+
+def test_read_ring_ignores_empty_buffer():
+    assert read_ring(bytearray(RING_BYTES)) == []
+
+
+def test_oversize_records_are_clipped_to_their_core():
+    buffer = bytearray(RING_BYTES)
+    recorder = FlightRecorder(buffer=buffer)
+    recorder.record("sched.blacklist", reason="x" * (2 * RECORD_SLOT_BYTES))
+    # In-process ring keeps the full record ...
+    assert recorder.snapshot()[0]["reason"].startswith("xxx")
+    # ... the shared slot keeps a legible core instead of a torn tail.
+    (event,) = read_ring(buffer)
+    assert event["kind"] == "sched.blacklist"
+    assert event["clipped"] is True
+    assert "reason" not in event
+
+
+def test_unencodable_fields_degrade_to_the_clipped_core():
+    buffer = bytearray(RING_BYTES)
+    recorder = FlightRecorder(buffer=buffer)
+    recorder.record("sup.state", payload=object())
+    (event,) = read_ring(buffer)
+    assert event["kind"] == "sup.state"
+    # default=str makes most objects encodable; whichever branch ran,
+    # the slot must decode as valid JSON with the core fields intact.
+    assert event["seq"] == 1 and event["pid"] > 0
+
+
+def test_default_ring_geometry_matches_the_shared_allocation():
+    assert RING_BYTES == DEFAULT_CAPACITY * RECORD_SLOT_BYTES
+    buffer = bytearray(RING_BYTES)
+    recorder = FlightRecorder(buffer=buffer)
+    assert recorder._slots == DEFAULT_CAPACITY
+    recorder.record("tick")
+    raw = bytes(buffer[:RECORD_SLOT_BYTES]).rstrip(b" ")
+    json.loads(raw.decode("utf-8"))  # first slot is one legible record
