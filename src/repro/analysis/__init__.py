@@ -10,10 +10,13 @@ lambda.  This package turns the conventions into machine-checked
 invariants:
 
 * :mod:`repro.analysis.lint` — an AST lint pass (``python -m
-  repro.analysis lint src``) with PC-specific rules PC001–PC005 that
+  repro.analysis lint src``) with PC-specific rules PC001–PC009 that
   ruff cannot express (handle escapes, raw ``buf`` access, impure
   native lambdas, counters missing their trace mirror, swallowed
-  exceptions in cluster hot paths);
+  exceptions in cluster hot paths — plus the path-sensitive
+  :mod:`repro.analysis.flowrules`, which run a forward dataflow
+  fixpoint over the :mod:`repro.analysis.cfg` control-flow graph to
+  catch pin/shm leaks on *some* path and writes after ``seal()``);
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer
   (``PC_SANITIZE=1`` or ``PCCluster(..., sanitize=True)``) that poisons
   freed regions, stamps generation counters to catch stale handles,
@@ -21,7 +24,18 @@ invariants:
   object leaks through the :mod:`repro.obs` metrics/trace layer.
 """
 
-from repro.analysis.lint import Finding, iter_rules, run_lint
+from repro.analysis.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow import ForwardAnalysis, run_forward
+from repro.analysis.lint import (
+    Finding,
+    apply_baseline,
+    iter_rules,
+    load_baseline,
+    run_lint,
+    span_of,
+    write_baseline,
+)
+from repro.analysis.sarif import format_sarif, to_sarif, validate_sarif
 from repro.analysis.sanitizer import (
     Sanitizer,
     SanitizerFinding,
@@ -33,14 +47,26 @@ from repro.analysis.sanitizer import (
 )
 
 __all__ = [
+    "BasicBlock",
+    "CFG",
     "Finding",
+    "ForwardAnalysis",
     "Sanitizer",
     "SanitizerFinding",
     "SanitizerReport",
+    "apply_baseline",
+    "build_cfg",
     "current_sanitizer",
     "disable",
     "enable",
+    "format_sarif",
     "iter_rules",
+    "load_baseline",
+    "run_forward",
     "run_lint",
     "sanitize_scope",
+    "span_of",
+    "to_sarif",
+    "validate_sarif",
+    "write_baseline",
 ]

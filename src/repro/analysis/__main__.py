@@ -1,9 +1,13 @@
 """CLI for the PC analysis tools.
 
 ``python -m repro.analysis lint [PATH ...]`` lints the given paths
-(default ``src``) with rules PC001–PC005 and exits non-zero when any
-finding survives suppression.  ``python -m repro.analysis rules`` lists
-the rule catalog.
+(default ``src``) with rules PC001–PC009 and exits non-zero when any
+finding survives suppression and the baseline.  ``--format sarif``
+emits SARIF 2.1.0 for CI code-scanning upload; ``--write-baseline``
+snapshots the current findings so ``--baseline`` can gate on *new*
+findings only.  ``python -m repro.analysis verify PLAN.tcap``
+statically type-checks a textual TCAP plan, and ``rules`` lists the
+rule catalog.
 """
 
 from __future__ import annotations
@@ -11,29 +15,119 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.lint import format_json, format_text, iter_rules, run_lint
+from repro.analysis.lint import (
+    apply_baseline,
+    format_json,
+    format_text,
+    iter_rules,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.analysis.sarif import format_sarif
+
+
+def _emit(report, output):
+    if output is None:
+        print(report)
+    else:
+        with open(output, "w") as handle:
+            handle.write(report + "\n")
+
+
+def _lint(args, parser):
+    select = None
+    if args.select:
+        select = {c.strip() for c in args.select.split(",") if c.strip()}
+    findings = run_lint(args.paths, select=select)
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print("baseline of %d finding%s written to %s" % (
+            len(findings), "" if len(findings) == 1 else "s",
+            args.write_baseline,
+        ))
+        return 0
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except (OSError, ValueError) as error:
+            parser.error("cannot read baseline %s: %s"
+                         % (args.baseline, error))
+        findings = apply_baseline(findings, known)
+    if args.format == "json":
+        _emit(format_json(findings), args.output)
+    elif args.format == "sarif":
+        _emit(format_sarif(findings), args.output)
+    elif findings:
+        _emit(format_text(findings), args.output)
+    else:
+        _emit("0 findings", args.output)
+    return 1 if findings else 0
+
+
+def _verify(args):
+    from repro.errors import PlanTypeError, TcapError
+    from repro.tcap.parser import parse_tcap
+    from repro.tcap.verify import verify_program
+
+    try:
+        with open(args.plan) as handle:
+            text = handle.read()
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    try:
+        program = parse_tcap(text)
+        types = verify_program(program)
+    except PlanTypeError as error:
+        print("plan type error: %s" % error, file=sys.stderr)
+        return 1
+    except TcapError as error:
+        print("tcap error: %s" % error, file=sys.stderr)
+        return 1
+    print("OK: %d statements, %d vector lists, %d columns typed" % (
+        len(program), len(types.env), types.columns_typed(),
+    ))
+    return 0
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="PC-specific static analysis (PCSan lint).",
+        description="PC-specific static analysis (PCSan lint, plan verify).",
     )
     sub = parser.add_subparsers(dest="command")
 
-    lint_parser = sub.add_parser("lint", help="run rules PC001-PC005")
+    lint_parser = sub.add_parser("lint", help="run rules PC001-PC009")
     lint_parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     lint_parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     lint_parser.add_argument(
         "--select", default=None,
         help="comma-separated rule codes to run (default: all)",
     )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline snapshot",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write a baseline snapshot of current findings and exit 0",
+    )
+
+    verify_parser = sub.add_parser(
+        "verify", help="statically type-check a textual TCAP plan",
+    )
+    verify_parser.add_argument("plan", help="path to a .tcap plan file")
 
     sub.add_parser("rules", help="list the rule catalog")
 
@@ -42,21 +136,12 @@ def main(argv=None):
         for code, name, summary in iter_rules():
             print("%s  %-24s %s" % (code, name, summary))
         return 0
+    if args.command == "verify":
+        return _verify(args)
     if args.command != "lint":
         parser.print_help()
         return 2
-
-    select = None
-    if args.select:
-        select = {c.strip() for c in args.select.split(",") if c.strip()}
-    findings = run_lint(args.paths, select=select)
-    if args.format == "json":
-        print(format_json(findings))
-    elif findings:
-        print(format_text(findings))
-    else:
-        print("0 findings")
-    return 1 if findings else 0
+    return _lint(args, parser)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,209 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A small, generic worklist fixpoint: an analysis supplies the lattice
+(``initial``/``join``) and the per-statement transfer functions, the
+engine iterates block in-states to a fixed point.  States must be
+plain comparable values (the rules here use dicts of frozensets).
+
+The one non-textbook feature is the *split transfer*: every basic
+block built by :func:`repro.analysis.cfg.build_cfg` has at most one
+statement that can raise, and it is always the last one.  Exception
+edges out of a block therefore get their own transfer
+(:meth:`ForwardAnalysis.transfer_raise`) applied to the state *before*
+the raising statement's normal effect.  That is what lets a resource
+rule model ``page = pool.pin(i)`` precisely: if ``pin`` itself raises,
+nothing was acquired and the exception edge must not report a leak;
+if a later call raises, the acquisition is live on that edge.
+
+:class:`ResourceAnalysis` is the reaching-state abstraction shared by
+the PC007/PC008 rules: each tracked resource key maps to the *set* of
+statuses it may have on some path ("acquired" / "released" /
+"escaped"), joined by union.  A key whose status set still contains
+"acquired" at a function exit may leak on some path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.cfg import EDGE_EXCEPT
+
+#: resource statuses for :class:`ResourceAnalysis` states
+ACQUIRED = "acquired"
+RELEASED = "released"
+ESCAPED = "escaped"
+
+
+class ForwardAnalysis:
+    """Base class: subclasses define the lattice and transfers."""
+
+    def initial(self):
+        """The state entering the function."""
+        raise NotImplementedError
+
+    def join(self, left, right):
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, stmt, state):
+        """State after ``stmt`` completes normally."""
+        raise NotImplementedError
+
+    def transfer_raise(self, stmt, state):
+        """State on the exception edge when ``stmt`` raises.
+
+        ``state`` is the in-state of the statement (its own normal
+        effect has *not* been applied).  The default assumes the
+        statement's effect happened before the raise.
+        """
+        return self.transfer(stmt, state)
+
+
+class FlowResult:
+    """Fixpoint states: block in-states plus the two exit in-states."""
+
+    __slots__ = ("in_states", "exit_state", "raise_state")
+
+    def __init__(self, in_states, exit_state, raise_state):
+        self.in_states = in_states
+        self.exit_state = exit_state
+        self.raise_state = raise_state
+
+
+def run_forward(cfg, analysis, max_iterations=10000):
+    """Iterate ``analysis`` over ``cfg`` to a fixed point.
+
+    Returns a :class:`FlowResult`.  ``max_iterations`` bounds total
+    block visits as a safety net — the lattices used here are finite,
+    so hitting it would be an engine bug, reported loudly rather than
+    looping.
+    """
+    in_states = {cfg.entry: analysis.initial()}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+    visits = 0
+    while worklist:
+        visits += 1
+        if visits > max_iterations:
+            raise RuntimeError(
+                "dataflow did not converge after %d block visits"
+                % max_iterations
+            )
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        state = in_states[block_id]
+        # Only the last statement of a block may raise (by CFG
+        # construction), so the exception out-state is the pre-state
+        # of the last statement put through transfer_raise.
+        for stmt in block.statements[:-1]:
+            state = analysis.transfer(stmt, state)
+        if block.statements:
+            last = block.statements[-1]
+            normal_out = analysis.transfer(last, state)
+            raise_out = analysis.transfer_raise(last, state)
+        else:
+            normal_out = raise_out = state
+        for target, kind in block.edges:
+            out = raise_out if kind == EDGE_EXCEPT else normal_out
+            old = in_states.get(target)
+            new = out if old is None else analysis.join(old, out)
+            if old is None or new != old:
+                in_states[target] = new
+                if target not in queued:
+                    worklist.append(target)
+                    queued.add(target)
+    return FlowResult(
+        in_states,
+        in_states.get(cfg.exit),
+        in_states.get(cfg.raises),
+    )
+
+
+def replay_block(cfg, analysis, result, block_id, visit):
+    """Re-run transfers through one block, calling ``visit`` per stmt.
+
+    ``visit(stmt, state_before)`` sees the state *entering* each
+    statement — how rules localize a finding (e.g. PC009's
+    write-after-seal) to the exact statement where it occurs.  Blocks
+    the fixpoint never reached are skipped.
+    """
+    state = result.in_states.get(block_id)
+    if state is None:
+        return
+    for stmt in cfg.blocks[block_id].statements:
+        visit(stmt, state)
+        state = analysis.transfer(stmt, state)
+
+
+# -- the shared resource abstraction ------------------------------------------
+
+
+class ResourceAnalysis(ForwardAnalysis):
+    """Reaching statuses for tracked resources.
+
+    The three spec callbacks map one statement to the resource keys it
+    affects; keys are opaque hashables chosen by the rule (PC007 uses
+    ``(family, receiver_text, arg_text)``, PC008 uses bound names).
+
+    * ``acquires(stmt)`` — keys this statement acquires;
+    * ``releases(stmt)`` — keys it releases;
+    * ``escapes(stmt)`` — keys whose ownership it transfers away
+      (returned, stored into longer-lived state, handed to a callee).
+
+    A state maps key -> frozenset of statuses; a key absent from the
+    state has not been touched on any path reaching that point.
+    """
+
+    def __init__(self, acquires, releases, escapes=None):
+        self._acquires = acquires
+        self._releases = releases
+        self._escapes = escapes or (lambda stmt: ())
+
+    def initial(self):
+        return {}
+
+    def join(self, left, right):
+        if left == right:
+            return left
+        merged = dict(left)
+        for key, statuses in right.items():
+            existing = merged.get(key)
+            merged[key] = statuses if existing is None \
+                else existing | statuses
+        return merged
+
+    def _apply(self, stmt, state, with_acquires):
+        updates = {}
+        for key in self._releases(stmt):
+            updates[key] = frozenset((RELEASED,))
+        for key in self._escapes(stmt):
+            updates[key] = frozenset((ESCAPED,))
+        if with_acquires:
+            for key in self._acquires(stmt):
+                updates[key] = frozenset((ACQUIRED,))
+        if not updates:
+            return state
+        merged = dict(state)
+        merged.update(updates)
+        return merged
+
+    def transfer(self, stmt, state):
+        return self._apply(stmt, state, with_acquires=True)
+
+    def transfer_raise(self, stmt, state):
+        # If the statement raises, optimistically assume its release/
+        # escape happened (a failing ``unpin`` should not read as a
+        # still-held pin) but its acquisition did not (a failing
+        # ``pin`` acquired nothing).  Both choices avoid reporting
+        # paths that cannot actually leak.
+        return self._apply(stmt, state, with_acquires=False)
+
+    @staticmethod
+    def leaked(state, key):
+        """True when ``key`` may still be held in ``state``."""
+        if state is None:
+            return False
+        statuses = state.get(key)
+        return statuses is not None and ACQUIRED in statuses \
+            and ESCAPED not in statuses

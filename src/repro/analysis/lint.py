@@ -1,4 +1,4 @@
-"""AST lint rules for PC-specific invariants (PC001–PC006).
+"""AST lint rules for PC-specific invariants (PC001–PC009).
 
 ruff and friends check Python; these rules check *PlinyCompute*.  Each
 rule encodes one discipline the simulated object model or the cluster
@@ -26,16 +26,26 @@ PC006     Row-path handle access (``.deref()`` / ``make_object*`` /
           library and any ``lambda_from_native(kernel=...)`` body must
           stay whole-batch array code; a per-row deref there silently
           serializes the hot loop it exists to vectorize.
+PC007     ``pin``/``retain`` without its ``unpin``/``release`` on some
+          path to function exit, including exception edges (flow-
+          sensitive; see :mod:`repro.analysis.flowrules`).
+PC008     ``SharedMemory``/``ShmRegistry`` created but not closed,
+          unlinked, or handed off on every path (flow-sensitive).
+PC009     Write to a page payload after ``seal()``/``to_bytes()`` on
+          any path (flow-sensitive).
 ========  ==============================================================
 
-A finding on line *N* is silenced by a trailing ``# pcsan:
-disable=PCnnn`` comment on that line (comma-separate to silence
-several).  Run ``python -m repro.analysis lint src`` to lint the repo.
+A finding is silenced by a trailing ``# pcsan: disable=PCnnn`` comment
+on any line of the reported statement — multi-line calls and
+parenthesized continuations suppress on whichever line carries the
+comment (comma-separate to silence several codes).  Run ``python -m
+repro.analysis lint src`` to lint the repo.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import os
 import re
@@ -44,19 +54,36 @@ import re
 
 
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
 
-    __slots__ = ("code", "message", "path", "line", "col")
+    ``line`` is the anchor the report points at; ``end_line`` extends
+    to the statement's last physical line so suppression comments work
+    anywhere inside a multi-line statement.  ``snippet`` (the stripped
+    anchor line, filled in by :func:`lint_source`) makes baseline
+    fingerprints survive unrelated edits above the finding.
+    """
 
-    def __init__(self, code, message, path, line, col=0):
+    __slots__ = ("code", "message", "path", "line", "col", "end_line",
+                 "snippet")
+
+    def __init__(self, code, message, path, line, col=0, end_line=None):
         self.code = code
         self.message = message
         self.path = path
         self.line = line
         self.col = col
+        self.end_line = end_line if end_line is not None else line
+        self.snippet = ""
 
     def sort_key(self):
         return (self.path, self.line, self.col, self.code)
+
+    def fingerprint(self):
+        """Location-independent identity used by ``--baseline``."""
+        text = "%s|%s|%s" % (
+            self.code, self.path.replace(os.sep, "/"), self.snippet,
+        )
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()
 
     def to_dict(self):
         return {
@@ -65,6 +92,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
         }
 
     def __repr__(self):
@@ -132,6 +160,19 @@ def _call_name(node):
     return None
 
 
+def span_of(node):
+    """``(first_line, last_line)`` of a node, decorators included.
+
+    ``ast`` anchors a decorated ``def`` at the ``def`` line; for
+    suppression purposes the decorator lines are part of the same
+    statement.
+    """
+    first = node.lineno
+    for decorator in getattr(node, "decorator_list", ()):
+        first = min(first, decorator.lineno)
+    return first, getattr(node, "end_lineno", None) or node.lineno
+
+
 # -- PC001: handle escape -----------------------------------------------------
 
 _MAKERS = {"make_object", "make_object_on"}
@@ -162,6 +203,7 @@ def check_handle_escape(tree, path, source):
                     "handle from %s() stored into instance state; it "
                     "outlives its allocation block" % _call_name(node.value),
                     path, node.lineno, node.col_offset,
+                    end_line=span_of(node)[1],
                 ))
     for node in tree.body:
         if isinstance(node, ast.Assign) and _is_maker_call(node.value):
@@ -170,6 +212,7 @@ def check_handle_escape(tree, path, source):
                 "handle from %s() bound at module level; it outlives "
                 "its allocation block" % _call_name(node.value),
                 path, node.lineno, node.col_offset,
+                end_line=span_of(node)[1],
             ))
     # (b) Handles returned from inside a `with use_allocation_block(...)`
     # body: the block's scope ends at the `with`, the handle escapes it.
@@ -202,11 +245,52 @@ def check_handle_escape(tree, path, source):
                     "handle returned from inside its allocation-block "
                     "scope; the block is gone when the caller derefs",
                     path, sub.lineno, sub.col_offset,
+                    end_line=span_of(sub)[1],
                 ))
     return findings
 
 
 # -- PC002: raw buf access ----------------------------------------------------
+
+
+def _is_buf_access(node):
+    """``x.buf`` or ``getattr(x, "buf")``."""
+    if isinstance(node, ast.Attribute) and node.attr == "buf":
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "getattr"
+        and len(node.args) >= 2
+        and isinstance(node.args[1], ast.Constant)
+        and node.args[1].value == "buf"
+    )
+
+
+def _buf_aliases(tree):
+    """Local names bound directly to a buffer access.
+
+    Covers plain assignment (``buf = block.buf``) and tuple unpacking
+    (``a, b = page.buf, x`` — ``a`` is the alias); anything wrapped in
+    another expression is not a *direct* alias and stays the direct
+    finding's problem.
+    """
+    aliases = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            pairs = []
+            if isinstance(target, ast.Name):
+                pairs.append((target, node.value))
+            elif isinstance(target, ast.Tuple) \
+                    and isinstance(node.value, ast.Tuple) \
+                    and len(target.elts) == len(node.value.elts):
+                pairs.extend(zip(target.elts, node.value.elts))
+            for name, value in pairs:
+                if isinstance(name, ast.Name) and _is_buf_access(value):
+                    aliases.add(name.id)
+    return aliases
 
 
 @rule("PC002", "raw-buf-access")
@@ -215,7 +299,8 @@ def check_raw_buf_access(tree, path, source):
 
     Any ``.buf`` attribute access counts, not just a direct subscript —
     aliasing the buffer into a local (``buf = block.buf``) is the same
-    escape with one more step.
+    escape with one more step, as are ``getattr(block, "buf")`` and
+    subscripts through a name the buffer was unpacked into.
     """
     if "memory" in _path_parts(path):
         return []
@@ -227,7 +312,30 @@ def check_raw_buf_access(tree, path, source):
                 "raw access to block.buf; go through "
                 "repro.memory.layout instead",
                 path, node.lineno, node.col_offset,
+                end_line=getattr(node, "end_lineno", None),
             ))
+        elif isinstance(node, ast.Call) and _is_buf_access(node):
+            findings.append(Finding(
+                "PC002",
+                "raw access to block.buf via getattr(); go through "
+                "repro.memory.layout instead",
+                path, node.lineno, node.col_offset,
+                end_line=getattr(node, "end_lineno", None),
+            ))
+    aliases = _buf_aliases(tree)
+    if aliases:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases):
+                findings.append(Finding(
+                    "PC002",
+                    "raw bytes via %r, an alias of block.buf; go "
+                    "through repro.memory.layout instead"
+                    % node.value.id,
+                    path, node.lineno, node.col_offset,
+                    end_line=getattr(node, "end_lineno", None),
+                ))
     return findings
 
 
@@ -293,6 +401,7 @@ def check_impure_native_lambda(tree, path, source):
                     "impure native lambda (%s); the TCAP optimizer "
                     "assumes term purity when it reorders" % why,
                     path, arg.lineno, arg.col_offset,
+                    end_line=span_of(arg)[1],
                 ))
     return findings
 
@@ -331,6 +440,7 @@ def check_counter_missing_trace(tree, path, source):
             "counter %r declared without its trace= mirror; its family "
             "publishes both views from one declaration" % name,
             path, node.lineno, node.col_offset,
+            end_line=span_of(node)[1],
         ))
     return findings
 
@@ -369,6 +479,10 @@ def check_swallowed_exception(tree, path, source):
                 "pass/continue/break/return); count it, log it, or "
                 "let it propagate" % named,
                 path, node.lineno, node.col_offset,
+                # the header only (a parenthesized exception tuple may
+                # wrap) — a comment inside the body must not suppress
+                end_line=node.type.end_lineno
+                if node.type is not None else None,
             ))
     return findings
 
@@ -432,6 +546,7 @@ def check_row_path_in_kernel(tree, path, source):
                 "run whole-batch over array views, and a per-row deref "
                 "serializes the loop they vectorize" % name,
                 path, sub.lineno, sub.col_offset,
+                end_line=span_of(sub)[1],
             ))
     return findings
 
@@ -455,17 +570,29 @@ def _iter_py_files(paths):
                     yield os.path.join(dirpath, filename)
 
 
+def _is_suppressed(finding, suppressed):
+    """A disable comment anywhere in the statement's span silences it."""
+    last = max(finding.end_line, finding.line)
+    for lineno in range(finding.line, last + 1):
+        if finding.code in suppressed.get(lineno, ()):
+            return True
+    return False
+
+
 def lint_source(source, path, select=None):
     """Run the registered rules over one module's source text."""
     tree = ast.parse(source, filename=path)
     suppressed = suppressions_of(source)
+    lines = source.splitlines()
     findings = []
     for code, _name, fn in _RULES:
         if select is not None and code not in select:
             continue
         for finding in fn(tree, path, source):
-            if finding.code in suppressed.get(finding.line, ()):
+            if _is_suppressed(finding, suppressed):
                 continue
+            if 1 <= finding.line <= len(lines):
+                finding.snippet = lines[finding.line - 1].strip()
             findings.append(finding)
     return findings
 
@@ -501,3 +628,60 @@ def format_json(findings):
          "count": len(findings)},
         indent=2, sort_keys=True,
     )
+
+
+# -- baselines ----------------------------------------------------------------
+
+
+def write_baseline(findings, path):
+    """Snapshot ``findings`` so a later run can gate on *new* ones.
+
+    The snapshot stores content fingerprints (rule code + file +
+    stripped source line), not line numbers, so edits elsewhere in a
+    file do not invalidate it.
+    """
+    payload = {
+        "version": 1,
+        "fingerprints": sorted(f.fingerprint() for f in findings),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+def load_baseline(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != 1:
+        raise ValueError(
+            "unsupported baseline version %r in %s"
+            % (payload.get("version"), path)
+        )
+    return list(payload.get("fingerprints", ()))
+
+
+def apply_baseline(findings, fingerprints):
+    """Drop findings already recorded in the baseline (multiset-wise).
+
+    Each baseline entry absolves at most one finding, so a *second*
+    occurrence of an identical line is still reported.
+    """
+    budget = {}
+    for fingerprint in fingerprints:
+        budget[fingerprint] = budget.get(fingerprint, 0) + 1
+    fresh = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            continue
+        fresh.append(finding)
+    return fresh
+
+
+# The flow-sensitive rules (PC007–PC009) live in their own module on
+# top of the CFG/dataflow engine; importing it registers them.  The
+# import sits at the bottom because flowrules imports Finding/rule
+# from here.
+from repro.analysis import flowrules as _flowrules  # noqa: E402,F401

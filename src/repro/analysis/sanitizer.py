@@ -155,7 +155,8 @@ class _BlockShadow:
         if poisoned is not None:
             start, end = poisoned
             buf = self.block.buf  # pcsan: disable=PC002
-            if any(buf[i] != POISON_BYTE for i in range(start, end)):
+            if any(buf[i] != POISON_BYTE  # pcsan: disable=PC002
+                   for i in range(start, end)):
                 self.san.record(
                     "poison_violation",
                     "freed chunk at offset %d of block %d was written "
@@ -174,7 +175,10 @@ class _BlockShadow:
         start = offset + POISON_SKIP
         end = offset + total
         if end > start:
-            buf[start:end] = bytes([POISON_BYTE]) * (end - start)
+            # the poison write *is* the sanitizer's raw byte poke
+            buf[start:end] = (  # pcsan: disable=PC002
+                bytes([POISON_BYTE]) * (end - start)
+            )
             self.poisoned[offset] = (start, end)
         self.generations[offset] = self.generations.get(offset, 0) + 1
         self.refcounts.pop(offset, None)

@@ -1,0 +1,173 @@
+"""SARIF 2.1.0 output for PCSan findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard code-scanning tools emit so CI surfaces (GitHub code scanning,
+IDE problem panes) can ingest findings without bespoke parsers.  The
+CI lint job runs ``python -m repro.analysis lint --format sarif`` and
+uploads the result with ``github/codeql-action/upload-sarif``, putting
+PC rule hits on the PR's Security tab with file/line anchors.
+
+Only the slice of the (large) SARIF schema this tool produces is
+modeled: one run, one driver, its rule catalog, and per-finding
+results with a single physical location each.  :func:`validate_sarif`
+checks exactly that slice — it is the contract the emitter is tested
+against, independent of any external schema file.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint import iter_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: pcsan severity is uniform: every finding is a rule violation the
+#: build gates on, which SARIF spells "error".
+_LEVEL = "error"
+
+
+def to_sarif(findings, tool_version="1.0.0"):
+    """Build the SARIF 2.1.0 document (a dict) for ``findings``."""
+    rules = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {"level": _LEVEL},
+        }
+        for code, name, summary in iter_rules()
+    ]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = []
+    for finding in findings:
+        region = {
+            "startLine": finding.line,
+            "startColumn": finding.col + 1,  # SARIF columns are 1-based
+        }
+        if finding.end_line > finding.line:
+            region["endLine"] = finding.end_line
+        result = {
+            "ruleId": finding.code,
+            "level": _LEVEL,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": region,
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pcsan",
+                        "informationUri":
+                            "https://github.com/plinycompute/plinycompute",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(findings, tool_version="1.0.0"):
+    """The SARIF document as a JSON string (what ``--format sarif`` prints)."""
+    return json.dumps(to_sarif(findings, tool_version=tool_version), indent=2)
+
+
+def validate_sarif(document):
+    """Check ``document`` against the SARIF 2.1.0 slice this tool emits.
+
+    Returns the list of problems found (empty means valid).  Kept
+    dependency-free on purpose: the full OASIS schema needs a network
+    fetch, and the emitter only ever produces this subset anyway.
+    """
+    problems = []
+
+    def need(obj, key, types, where):
+        value = obj.get(key)
+        if not isinstance(value, types):
+            problems.append("%s.%s missing or not %s" % (
+                where, key,
+                getattr(types, "__name__", "/".join(
+                    t.__name__ for t in types
+                ) if isinstance(types, tuple) else str(types)),
+            ))
+            return None
+        return value
+
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append("version is not %r" % SARIF_VERSION)
+    runs = need(document, "runs", list, "document")
+    for run_index, run in enumerate(runs or []):
+        where = "runs[%d]" % run_index
+        if not isinstance(run, dict):
+            problems.append("%s is not an object" % where)
+            continue
+        tool = need(run, "tool", dict, where) or {}
+        driver = need(tool, "driver", dict, where + ".tool") or {}
+        need(driver, "name", str, where + ".tool.driver")
+        for rule_index, rule in enumerate(driver.get("rules") or []):
+            rwhere = "%s.tool.driver.rules[%d]" % (where, rule_index)
+            if isinstance(rule, dict):
+                need(rule, "id", str, rwhere)
+            else:
+                problems.append("%s is not an object" % rwhere)
+        results = need(run, "results", list, where)
+        for result_index, result in enumerate(results or []):
+            rwhere = "%s.results[%d]" % (where, result_index)
+            if not isinstance(result, dict):
+                problems.append("%s is not an object" % rwhere)
+                continue
+            need(result, "ruleId", str, rwhere)
+            message = need(result, "message", dict, rwhere) or {}
+            need(message, "text", str, rwhere + ".message")
+            for loc_index, location in enumerate(
+                result.get("locations") or []
+            ):
+                lwhere = "%s.locations[%d]" % (rwhere, loc_index)
+                if not isinstance(location, dict):
+                    problems.append("%s is not an object" % lwhere)
+                    continue
+                physical = need(
+                    location, "physicalLocation", dict, lwhere
+                ) or {}
+                artifact = need(
+                    physical, "artifactLocation", dict,
+                    lwhere + ".physicalLocation",
+                ) or {}
+                need(
+                    artifact, "uri", str,
+                    lwhere + ".physicalLocation.artifactLocation",
+                )
+                region = physical.get("region")
+                if region is not None:
+                    line = region.get("startLine")
+                    if not isinstance(line, int) or line < 1:
+                        problems.append(
+                            "%s region.startLine is not a positive int"
+                            % lwhere
+                        )
+    return problems

@@ -122,7 +122,8 @@ class PCCluster:
                  broadcast_threshold=DEFAULT_BROADCAST_THRESHOLD,
                  combiner_page_size=None, spill_root=None,
                  fault_injector=None, retry_policy=None, profiling=False,
-                 sanitize=False, transport=None, tracing=True):
+                 sanitize=False, transport=None, tracing=True,
+                 verify_plans=True):
         # The master's durable territory: the catalog journals every DDL
         # and replica-map mutation (write-ahead) under the spill root, so
         # recover() can rebuild its state after a simulated master crash.
@@ -162,6 +163,11 @@ class PCCluster:
         self.fault_metrics = _FaultCounters(self.metrics_registry)
         self.fault_injector = fault_injector
         self.retry_policy = retry_policy or RetryPolicy()
+        # Static plan verification (repro.tcap.verify): the scheduler
+        # type-checks every compiled plan against the catalog before it
+        # dispatches anything.  On by default; False is the escape hatch
+        # for deliberately-broken plans in fault experiments.
+        self.verify_plans = verify_plans
         # The master-side flight recorder (DESIGN §14): a constant-memory
         # ring of structured runtime events, dumped into the job trace
         # when something dies.  Children get their own shared rings.
@@ -378,8 +384,10 @@ class PCCluster:
                 continue
             for index, page_id in enumerate(list(page_set.page_ids)):
                 page = dead.storage.pool.pin(page_id)
-                data = page.to_bytes()
-                dead.storage.pool.unpin(page_id)
+                try:
+                    data = page.to_bytes()
+                finally:
+                    dead.storage.pool.unpin(page_id)
                 peer = survivors[(moved + index) % len(survivors)]
                 shipped = self.network.ship_page(
                     worker_id, peer.worker_id, data

@@ -80,6 +80,7 @@ from repro.memory.objects import make_object_on
 from repro.obs.tracer import Span
 from repro.storage.replication import page_checksum
 from repro.tcap.ir import ApplyStmt, JoinStmt, OutputStmt
+from repro.tcap.verify import verify_program
 
 #: Scaled stand-in for the paper's 2 GB broadcast-join threshold.
 DEFAULT_BROADCAST_THRESHOLD = 8 << 20
@@ -115,6 +116,18 @@ class DistributedScheduler:
         self.plan = plan
         self.broadcast_threshold = broadcast_threshold
         self.tracer = cluster.tracer
+        # Submit-time plan verification (repro.tcap.verify): type-check
+        # the compiled program against the catalog *before* any stage is
+        # planned or dispatched, so a mistyped plan dies here — no worker
+        # spawn, no partial sink output — with a PlanTypeError naming the
+        # offending TCAP statement.
+        if getattr(cluster, "verify_plans", False):
+            with self.tracer.span("verify", kind="phase"):
+                verify_program(
+                    program,
+                    catalog=cluster.catalog,
+                    layout_of=cluster._columnar_layout_of,
+                )
         self.faults = cluster.fault_injector
         self.fault_metrics = cluster.fault_metrics
         self.profiler = cluster.profiler

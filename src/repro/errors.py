@@ -129,6 +129,22 @@ class TcapParseError(TcapError):
         self.line = line
 
 
+class PlanTypeError(TcapError):
+    """A compiled plan failed static type verification at submit time.
+
+    Raised by :func:`repro.tcap.verify.verify_program` before the
+    scheduler dispatches anything, carrying the offending statement's
+    TCAP text so the error points at the plan, not at a worker
+    traceback.
+    """
+
+    def __init__(self, message, statement=None):
+        if statement is not None:
+            message = "%s\n  in: %s" % (message, statement.to_text())
+        super().__init__(message)
+        self.statement = statement
+
+
 class PlanningError(PCError):
     """The physical planner could not produce a valid pipeline plan."""
 

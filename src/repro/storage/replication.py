@@ -190,8 +190,10 @@ class ReplicationManager:
         records = []
         for page_id in page_ids:
             page = server.pool.pin(page_id)
-            data = page.to_bytes()
-            server.pool.unpin(page_id)
+            try:
+                data = page.to_bytes()
+            finally:
+                server.pool.unpin(page_id)
             checksum = page_checksum(data)
             page.checksum = checksum
             count = page_set.page_object_count(page_id)
@@ -310,8 +312,10 @@ class ReplicationManager:
         except PageCorruptionError:
             self._note_checksum_failure(record, worker_id)
             return None
-        data = page.to_bytes()
-        server.pool.unpin(page_id)
+        try:
+            data = page.to_bytes()
+        finally:
+            server.pool.unpin(page_id)
         if record.checksum is not None and \
                 page_checksum(data) != record.checksum:
             self._note_checksum_failure(record, worker_id)
@@ -414,8 +418,10 @@ class ReplicationManager:
                     (w, p) for w, p in record.replicas
                 )[worker_id]
                 page = evacuate_from.pool.pin(local)
-                data = page.to_bytes()
-                evacuate_from.pool.unpin(local)
+                try:
+                    data = page.to_bytes()
+                finally:
+                    evacuate_from.pool.unpin(local)
                 target = ring.rereplication_target(uid, {worker_id})
                 if target is None:
                     raise ReplicationError(

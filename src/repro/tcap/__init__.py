@@ -1,7 +1,9 @@
 """TCAP: PC's optimizable intermediate language."""
 
+from repro.errors import PlanTypeError
 from repro.tcap.compiler import TcapCompiler, compile_computations
 from repro.tcap.parser import parse_tcap
+from repro.tcap.verify import PlanTypes, verify_program
 from repro.tcap.ir import (
     AggregateStmt,
     ApplyStmt,
@@ -29,4 +31,7 @@ __all__ = [
     "parse_tcap",
     "TcapProgram",
     "compile_computations",
+    "PlanTypeError",
+    "PlanTypes",
+    "verify_program",
 ]

@@ -11,4 +11,20 @@ def poke_header(block, offset):
 
 def alias_the_buffer(page):
     buf = page.block.buf  # fires: aliasing is the same escape
-    return buf[0:16]
+    return buf[0:16]  # fires: subscript through the alias
+
+
+def getattr_dodge(block):
+    return getattr(block, "buf")  # fires: getattr() is the same access
+
+
+def unpack_dodge(page, x):
+    a, b = page.buf, x  # fires: .buf read inside the unpacking
+    return a[0], b  # fires: subscript through the unpacked alias
+
+
+def multiline_suppressed(block):
+    return getattr(
+        block,
+        "buf",  # pcsan: disable=PC002
+    )

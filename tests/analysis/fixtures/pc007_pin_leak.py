@@ -1,0 +1,40 @@
+"""Fixture: PC007 — pin/retain unreleased on some path to exit."""
+
+
+def reload_with_early_return(pool, page_id, cache):
+    page = pool.pin(page_id)  # fires: the early return skips the unpin
+    if page_id in cache:
+        return cache[page_id]
+    data = bytes(page.payload)
+    pool.unpin(page_id)
+    return data
+
+
+def copy_retained(block, handle):
+    block.retain(handle)  # fires: serialize() can raise before release
+    data = block.serialize(handle)
+    block.release(handle)
+    return data
+
+
+def reload_clean(pool, page_id):
+    page = pool.pin(page_id)  # clean: the finally runs on every path
+    try:
+        return bytes(page.payload)
+    finally:
+        pool.unpin(page_id)
+
+
+def pin_for_caller(pool, page_id):
+    page = pool.pin(page_id)  # clean: ownership transfers to the caller
+    return page
+
+
+def suppressed_leak(pool, cache, key):
+    page = pool.pin(  # the comment may sit on any line of the statement
+        cache[key],
+    )  # pcsan: disable=PC007
+    if page is None:
+        return None
+    pool.unpin(cache[key])
+    return True

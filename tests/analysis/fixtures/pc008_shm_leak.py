@@ -1,0 +1,39 @@
+"""Fixture: PC008 — shm handle not closed/unlinked on every path."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+from repro.storage.shm_registry import ShmRegistry
+
+
+def attach_segment(name, ready):
+    shm = SharedMemory(name=name)  # fires: only closed when ready
+    if ready:
+        shm.close()
+    return None
+
+
+def poke_registry(path):
+    ShmRegistry(path)  # fires: dropped on the floor, nothing can close it
+
+
+def scratch_segment(name, nbytes):
+    shm = SharedMemory(name=name, create=True, size=nbytes)  # clean
+    try:
+        return shm.size
+    finally:
+        shm.close()
+
+
+def sized_segment(name):
+    with SharedMemory(name=name) as shm:  # clean: the with-block closes it
+        return shm.size
+
+
+def adopt_segment(registry, name):
+    shm = SharedMemory(name=name)  # clean: ownership handed to the registry
+    registry.adopt(shm)
+
+
+def suppressed_segment(name):
+    shm = SharedMemory(name=name)  # pcsan: disable=PC008
+    return shm.size

@@ -1,0 +1,30 @@
+"""Fixture: PC009 — page payload written after seal()/to_bytes()."""
+
+
+def ship_page(page, header):
+    page.seal()
+    page.write_header(header)  # fires: the bytes already shipped
+
+
+def maybe_seal_then_store(block, data, early):
+    if early:
+        block.seal()
+    block.payload[0:4] = data  # fires: sealed on the early path
+
+
+def recycle(pool, data):
+    page = pool.fresh()
+    page.seal()
+    page = pool.fresh()  # clean: rebinding makes a fresh, unsealed page
+    page.write_bytes(data)
+    return page
+
+
+def write_then_seal(page, data):
+    page.write_bytes(data)  # clean: the write happens before the seal
+    return page.to_bytes()
+
+
+def suppressed_write(page, header):
+    page.seal()
+    page.write_header(header)  # pcsan: disable=PC009

@@ -1,0 +1,292 @@
+"""The CFG engine: structure of branch/loop/try edges, and the
+every-statement-in-exactly-one-block invariant, property-tested over
+randomly generated function bodies."""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import (
+    EDGE_EXCEPT,
+    build_cfg,
+    may_raise,
+)
+from repro.analysis.flowrules import _local_stmts
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    return tree.body[0], build_cfg(tree.body[0])
+
+
+def block_of(cfg, needle):
+    """The single block whose statements include source text ``needle``.
+
+    Only a statement's header line counts — a compound statement's
+    ``unparse`` includes its whole suite, but its suite lives in other
+    blocks.
+    """
+    found = [
+        block for block in cfg.blocks.values()
+        if any(
+            needle in ast.unparse(s).splitlines()[0]
+            for s in block.statements
+        )
+    ]
+    assert len(found) == 1, "%r in %d blocks" % (needle, len(found))
+    return found[0]
+
+
+def can_reach(cfg, source_id, target_id):
+    seen, stack = set(), [source_id]
+    while stack:
+        block_id = stack.pop()
+        if block_id == target_id:
+            return True
+        if block_id in seen:
+            continue
+        seen.add(block_id)
+        stack.extend(cfg.blocks[block_id].successors())
+    return False
+
+
+# -- structure ----------------------------------------------------------------
+
+
+def test_if_else_branches_rejoin():
+    _func, cfg = cfg_of(
+        "def f(c):\n"
+        "    if c:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    return a\n"
+    )
+    then_block = block_of(cfg, "a = 1")
+    else_block = block_of(cfg, "a = 2")
+    ret_block = block_of(cfg, "return a")
+    for branch in (then_block, else_block):
+        assert can_reach(cfg, branch.block_id, ret_block.block_id)
+    assert ret_block.successors() == [cfg.exit]
+
+
+def test_loop_has_back_edge_and_exit():
+    _func, cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        use(x)\n"
+        "    return None\n"
+    )
+    header = block_of(cfg, "for x in xs")
+    body = block_of(cfg, "use(x)")
+    assert can_reach(cfg, body.block_id, header.block_id)  # back edge
+    assert can_reach(cfg, header.block_id, cfg.exit)
+
+
+def test_break_skips_loop_else():
+    _func, cfg = cfg_of(
+        "def f(xs):\n"
+        "    while xs:\n"
+        "        break\n"
+        "    else:\n"
+        "        fallback()\n"
+        "    done()\n"
+    )
+    brk = block_of(cfg, "break")
+    orelse = block_of(cfg, "fallback()")
+    done = block_of(cfg, "done()")
+    assert can_reach(cfg, brk.block_id, done.block_id)
+    assert not can_reach(cfg, brk.block_id, orelse.block_id)
+
+
+def test_call_statement_gets_exception_edge_and_ends_block():
+    _func, cfg = cfg_of(
+        "def f(page):\n"
+        "    data = page.to_bytes()\n"
+        "    tail = 1\n"
+    )
+    call_block = block_of(cfg, "page.to_bytes()")
+    # The may-raise statement seals its block (so the dataflow engine
+    # can give its exception edge a different transfer)...
+    assert may_raise(call_block.statements[-1])
+    assert "to_bytes" in ast.unparse(call_block.statements[-1])
+    kinds = {kind for _t, kind in call_block.edges}
+    assert EDGE_EXCEPT in kinds
+    targets = dict((kind, t) for t, kind in call_block.edges)
+    assert targets[EDGE_EXCEPT] == cfg.raises
+    # ...and the next statement lives in the fall-through block.
+    assert block_of(cfg, "tail = 1").block_id != call_block.block_id
+
+
+def test_try_except_routes_body_exceptions_to_handler():
+    _func, cfg = cfg_of(
+        "def f(pool, i):\n"
+        "    try:\n"
+        "        page = pool.pin(i)\n"
+        "    except KeyError:\n"
+        "        recover()\n"
+        "    return None\n"
+    )
+    pin = block_of(cfg, "pool.pin(i)")
+    handler = block_of(cfg, "recover()")
+    assert can_reach(cfg, pin.block_id, handler.block_id)
+    assert can_reach(cfg, handler.block_id, cfg.exit)
+
+
+def test_finally_runs_on_return_and_exception_paths():
+    _func, cfg = cfg_of(
+        "def f(pool, i):\n"
+        "    page = pool.pin(i)\n"
+        "    try:\n"
+        "        return work(page)\n"
+        "    finally:\n"
+        "        pool.unpin(i)\n"
+    )
+    work = block_of(cfg, "work(page)")
+    fin = block_of(cfg, "pool.unpin(i)")
+    # Both leaving normally (return) and raising route through finally...
+    assert all(
+        can_reach(cfg, target, fin.block_id)
+        for target, _kind in work.edges
+    )
+    # ...and the finally's exit fans out to both continuations.
+    assert can_reach(cfg, fin.block_id, cfg.exit)
+    assert can_reach(cfg, fin.block_id, cfg.raises)
+
+
+def test_handler_exception_still_runs_finally():
+    _func, cfg = cfg_of(
+        "def f(res):\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except ValueError:\n"
+        "        rethrow()\n"
+        "    finally:\n"
+        "        res.close()\n"
+    )
+    handler = block_of(cfg, "rethrow()")
+    fin = block_of(cfg, "res.close()")
+    except_targets = [
+        target for target, kind in handler.edges if kind == EDGE_EXCEPT
+    ]
+    assert except_targets
+    assert all(
+        can_reach(cfg, target, fin.block_id) for target in except_targets
+    )
+
+
+def test_dead_code_is_parked_in_unreachable_block():
+    _func, cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    unreachable()\n"
+    )
+    dead = block_of(cfg, "unreachable()")
+    assert dead.block_id not in cfg.reachable()
+
+
+def test_nested_defs_are_opaque():
+    func, cfg = cfg_of(
+        "def f():\n"
+        "    def inner():\n"
+        "        return risky()\n"
+        "    return inner\n"
+    )
+    inner = func.body[0]
+    assert not may_raise(inner)  # defining a function cannot raise
+    # The inner body's statements belong to inner's own CFG, not f's.
+    recorded = cfg.statements()
+    assert inner in recorded
+    assert inner.body[0] not in recorded
+
+
+# -- the coverage invariant, property-tested ----------------------------------
+
+_SIMPLE = (
+    "x = f()", "y = 1", "g(x)", "x += 1", "pass",
+    "return x", "raise ValueError('boom')", "assert x", "del y",
+)
+
+
+def _leaf():
+    return st.sampled_from([("simple", text) for text in _SIMPLE] +
+                           [("loopjump", "break"), ("loopjump", "continue")])
+
+
+def _node(children):
+    suites = st.lists(children, min_size=1, max_size=3)
+    optional = st.lists(children, min_size=0, max_size=2)
+    return st.one_of(
+        st.tuples(st.just("if"), suites, optional),
+        st.tuples(st.just("while"), suites, optional),
+        st.tuples(st.just("for"), suites, optional),
+        st.tuples(st.just("with"), suites),
+        st.tuples(st.just("try"), suites, suites, optional),
+    )
+
+
+_STMTS = st.recursive(_leaf(), _node, max_leaves=16)
+_BODIES = st.lists(_STMTS, min_size=1, max_size=5)
+
+
+def _render(node, indent, in_loop, lines):
+    pad = "    " * indent
+    kind = node[0]
+    if kind == "simple":
+        lines.append(pad + node[1])
+    elif kind == "loopjump":
+        lines.append(pad + (node[1] if in_loop else "pass"))
+    elif kind == "if":
+        lines.append(pad + "if cond:")
+        _render_suite(node[1], indent + 1, in_loop, lines)
+        if node[2]:
+            lines.append(pad + "else:")
+            _render_suite(node[2], indent + 1, in_loop, lines)
+    elif kind in ("while", "for"):
+        lines.append(pad + ("while cond:" if kind == "while"
+                            else "for item in seq():"))
+        _render_suite(node[1], indent + 1, True, lines)
+        if node[2]:
+            lines.append(pad + "else:")
+            _render_suite(node[2], indent + 1, in_loop, lines)
+    elif kind == "with":
+        lines.append(pad + "with ctx() as handle:")
+        _render_suite(node[1], indent + 1, in_loop, lines)
+    elif kind == "try":
+        lines.append(pad + "try:")
+        _render_suite(node[1], indent + 1, in_loop, lines)
+        lines.append(pad + "except RuntimeError:")
+        _render_suite(node[2], indent + 1, in_loop, lines)
+        if node[3]:
+            lines.append(pad + "finally:")
+            _render_suite(node[3], indent + 1, in_loop, lines)
+
+
+def _render_suite(suite, indent, in_loop, lines):
+    for node in suite:
+        _render(node, indent, in_loop, lines)
+
+
+@settings(max_examples=150, deadline=None)
+@given(body=_BODIES)
+def test_every_statement_lands_in_exactly_one_block(body):
+    lines = ["def f(x, y):"]
+    _render_suite(body, 1, False, lines)
+    source = "\n".join(lines) + "\n"
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    recorded = cfg.statements()
+    # no statement is recorded twice...
+    assert len(recorded) == len({id(s) for s in recorded})
+    # ...and every local statement is recorded exactly once (``try``
+    # is pure structure — its pieces all land in blocks of their own).
+    expected = {
+        id(s) for s in _local_stmts(func) if not isinstance(s, ast.Try)
+    }
+    assert {id(s) for s in recorded} == expected
+    # every edge points at a real block, and the graph stays finite
+    for block in cfg.blocks.values():
+        for target, _kind in block.edges:
+            assert target in cfg.blocks
+    assert cfg.reachable() <= set(cfg.blocks)

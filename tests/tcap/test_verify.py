@@ -1,0 +1,255 @@
+"""The static plan verifier: structural checks, type propagation over
+columnar schemas, mark-consistency, and no false positives on compiled
+programs."""
+
+import pytest
+
+from repro.core import (
+    AggregateComp,
+    JoinComp,
+    ObjectReader,
+    SelectionComp,
+    Writer,
+    lambda_from_member,
+    lambda_from_method,
+    lambda_from_native,
+)
+from repro.errors import PlanTypeError
+from repro.memory.types import Int64
+from repro.schema import Schema, f64, i64
+from repro.tcap import compile_computations, parse_tcap, verify_program
+from repro.tcap.ir import (
+    ApplyStmt,
+    FilterStmt,
+    HashStmt,
+    OutputStmt,
+    ScanStmt,
+    TcapProgram,
+)
+from repro.tcap.optimizer.columnar import mark_columnar
+
+SCHEMA = Schema([("x", f64), ("y", f64), ("label", i64)])
+
+
+def layout_of(database, set_name):
+    return SCHEMA if (database, set_name) == ("db", "pts") else None
+
+
+def scan(output="A", column="in", set_name="pts"):
+    return ScanStmt(output, column, "db", set_name, "C")
+
+
+def att_access(att, output="B", input_name="A", apply_col="in",
+               new_column="v", info=None):
+    merged = {"type": "attAccess", "attName": att}
+    merged.update(info or {})
+    return ApplyStmt(output, input_name, [apply_col], [apply_col],
+                     new_column, "C", "s1", merged)
+
+
+# -- structural checks --------------------------------------------------------
+
+
+def test_dangling_input_is_rejected():
+    program = TcapProgram([att_access("x")])
+    with pytest.raises(PlanTypeError, match="before any statement"):
+        verify_program(program)
+
+
+def test_missing_column_is_rejected():
+    program = TcapProgram([
+        scan(),
+        ApplyStmt("B", "A", ["nope"], ["in"], "v", "C", "s1",
+                  {"type": "self"}),
+    ])
+    with pytest.raises(PlanTypeError, match="missing column"):
+        verify_program(program)
+
+
+def test_duplicate_producer_is_rejected():
+    program = TcapProgram([scan(), scan()])
+    with pytest.raises(PlanTypeError, match="produced twice"):
+        verify_program(program)
+
+
+def test_self_consumption_is_rejected():
+    program = TcapProgram([
+        scan(),
+        ApplyStmt("A", "A", ["in"], ["in"], "v", "C", "s1",
+                  {"type": "self"}),
+    ])
+    with pytest.raises(PlanTypeError, match="its own output"):
+        verify_program(program)
+
+
+def test_duplicate_output_column_is_rejected():
+    program = TcapProgram([
+        scan(),
+        ApplyStmt("B", "A", ["in"], ["in"], "in", "C", "s1",
+                  {"type": "self"}),
+    ])
+    with pytest.raises(PlanTypeError, match="appears twice"):
+        verify_program(program)
+
+
+# -- type propagation over a columnar schema ----------------------------------
+
+
+def test_unknown_schema_column_fails_at_verify():
+    program = TcapProgram([scan(), att_access("radius")])
+    with pytest.raises(PlanTypeError, match="radius"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_known_schema_column_types_flow():
+    program = TcapProgram([scan(), att_access("x")])
+    types = verify_program(program, layout_of=layout_of)
+    assert types["B"]["v"] == ("num", "f8")
+    assert types["B"]["in"][0] == "rows"
+
+
+def test_comparison_arity_is_checked():
+    program = TcapProgram([
+        scan(),
+        att_access("x"),
+        ApplyStmt("D", "B", ["v"], [], "cmp", "C", "s2",
+                  {"type": "comparison", "op": ">"}),
+    ])
+    with pytest.raises(PlanTypeError, match="takes exactly 2"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_comparison_on_row_batch_is_rejected():
+    program = TcapProgram([
+        scan(),
+        att_access("x"),
+        ApplyStmt("D", "B", ["in", "v"], [], "cmp", "C", "s2",
+                  {"type": "comparison", "op": ">"}),
+    ])
+    with pytest.raises(PlanTypeError, match="scalar operands"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_filter_mask_must_not_be_rows():
+    program = TcapProgram([
+        scan(),
+        FilterStmt("F", "A", "in", ["in"], "C"),
+    ])
+    with pytest.raises(PlanTypeError, match="FILTER mask"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_error_carries_the_offending_statement_text():
+    program = TcapProgram([scan(), att_access("radius")])
+    with pytest.raises(PlanTypeError) as excinfo:
+        verify_program(program, layout_of=layout_of)
+    assert "APPLY" in str(excinfo.value)  # the .to_text() rendering
+    assert excinfo.value.statement is program.statements[1]
+
+
+# -- mark-consistency ---------------------------------------------------------
+
+
+def test_marked_but_opaque_statement_is_rejected():
+    stmt = HashStmt("H", "A", "in", ["in"], "h", "C",
+                    {"columnar": "1"})
+    program = TcapProgram([scan(), stmt])
+    with pytest.raises(PlanTypeError, match="always opaque"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_marked_ineligible_apply_is_rejected():
+    program = TcapProgram([
+        scan(column="in"),
+        att_access("x", info={"columnar": "1"}),
+    ])
+    program.statements[0].info["columnar"] = "1"
+    # attAccess over the marked scan is fine...
+    verify_program(program, layout_of=layout_of)
+    # ...but a methodCall claiming to be columnar is not.
+    bad = TcapProgram([
+        scan(),
+        ApplyStmt("B", "A", ["in"], ["in"], "v", "C", "s1",
+                  {"type": "methodCall", "methodName": "getX",
+                   "columnar": "1"}),
+    ])
+    bad.statements[0].info["columnar"] = "1"
+    with pytest.raises(PlanTypeError, match="no array form"):
+        verify_program(bad, layout_of=layout_of)
+
+
+def test_marked_scan_of_row_set_is_rejected():
+    stmt = scan(set_name="rows_only")
+    stmt.info["columnar"] = "1"
+    program = TcapProgram([stmt])
+    with pytest.raises(PlanTypeError, match="not stored columnar"):
+        verify_program(program, layout_of=layout_of)
+
+
+def test_mark_columnar_output_always_verifies():
+    program = TcapProgram([
+        scan(),
+        att_access("x"),
+        ApplyStmt("D", "B", ["v", "v"], ["in"], "cmp", "C", "s2",
+                  {"type": "comparison", "op": ">"}),
+        FilterStmt("F", "D", "cmp", ["in"], "C"),
+        OutputStmt("F", "in", "db", "out", "C"),
+    ])
+    marked = mark_columnar(program, layout_of)
+    assert marked > 0
+    verify_program(program, layout_of=layout_of)
+
+
+# -- compiled programs verify unchanged ---------------------------------------
+
+
+class _Sel(SelectionComp):
+    def get_selection(self, arg):
+        return lambda_from_method(arg, "getSalary") > 50_000
+
+    def get_projection(self, arg):
+        return lambda_from_member(arg, "name")
+
+
+class _Join(JoinComp):
+    def get_selection(self, a, b):
+        return lambda_from_member(a, "k") == lambda_from_member(b, "k")
+
+    def get_projection(self, a, b):
+        return lambda_from_native([a, b], lambda x, y: (x, y))
+
+
+class _Agg(AggregateComp):
+    key_type = Int64
+    value_type = Int64
+
+    def get_key_projection(self, arg):
+        return lambda_from_native([arg], lambda p: p[0])
+
+    def get_value_projection(self, arg):
+        return lambda_from_native([arg], lambda p: 1)
+
+
+def test_compiled_selection_program_verifies():
+    sel = _Sel().set_input(ObjectReader("db", "emps"))
+    program = compile_computations(Writer("db", "out").set_input(sel))
+    types = verify_program(program)
+    assert types.columns_typed() > 0
+
+
+def test_compiled_join_aggregate_program_verifies():
+    join = _Join()
+    join.set_input(0, ObjectReader("db", "a"))
+    join.set_input(1, ObjectReader("db", "b"))
+    agg = _Agg().set_input(join)
+    program = compile_computations(Writer("db", "out").set_input(agg))
+    verify_program(program)
+
+
+def test_parsed_text_program_verifies_structurally():
+    join = _Join()
+    join.set_input(0, ObjectReader("db", "a"))
+    join.set_input(1, ObjectReader("db", "b"))
+    program = compile_computations(Writer("db", "out").set_input(join))
+    parsed = parse_tcap(program.to_text())
+    verify_program(parsed)  # no catalog, no oracle: structure only
